@@ -1,0 +1,127 @@
+(* The WaTZ command-line tool: a thin front-end over the library for
+   poking at the simulated device from a shell.
+
+   dune exec bin/watz_cli.exe -- <command>
+
+   Commands:
+     boot                      boot a device and print its trust anchors
+     measure <file.wasm>       print the attestation claim of a binary
+     run <file.wasm> [entry]   launch a Wasm binary inside WaTZ
+     attest                    run a full remote attestation end to end
+     verify-protocol           run the Dolev-Yao analysis of Table II
+     sql <statement...>        execute SQL against an in-enclave MiniDB *)
+
+open Cmdliner
+
+let booted seed =
+  let soc = Watz_tz.Soc.manufacture ~seed () in
+  (match Watz_tz.Soc.boot soc with
+  | Ok _ -> ()
+  | Error e -> Format.kasprintf failwith "boot failed: %a" Watz_tz.Boot.pp_boot_error e);
+  soc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let boot_cmd =
+  let run () =
+    let soc = booted "cli-device" in
+    let os = Watz_tz.Soc.optee soc in
+    let service = Watz_attest.Service.install os in
+    Printf.printf "secure boot: OK (%s)\n" Watz_tz.Soc.watz_version;
+    Printf.printf "boot measurement: %s\n"
+      (Watz_util.Hex.encode (Watz_tz.Optee.Kernel.boot_measurement os));
+    Printf.printf "attestation public key (endorsement): %s\n"
+      (Watz_util.Hex.encode (Watz_crypto.P256.encode (Watz_attest.Service.public_key service)))
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"Boot a simulated device and print its trust anchors")
+    Term.(const run $ const ())
+
+let measure_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.wasm") in
+  let run file =
+    Printf.printf "%s  %s\n" (Watz_util.Hex.encode (Watz.Runtime.measure (read_file file))) file
+  in
+  Cmd.v (Cmd.info "measure" ~doc:"Print the attestation claim (SHA-256) of a Wasm binary")
+    Term.(const run $ file)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.wasm") in
+  let entry = Arg.(value & pos 1 string "_start" & info [] ~docv:"ENTRY") in
+  let run file entry =
+    let soc = booted "cli-device" in
+    let app = Watz.Runtime.load ~entry:(Some entry) soc (read_file file) in
+    print_string (Watz.Runtime.output app);
+    Printf.printf "[watz] claim: %s\n" (Watz_util.Hex.encode (Watz.Runtime.claim app));
+    Watz.Runtime.unload app
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Launch a Wasm binary inside the WaTZ runtime")
+    Term.(const run $ file $ entry)
+
+let attest_cmd =
+  let run () =
+    let soc = booted "cli-device" in
+    let service = Watz_attest.Service.install (Watz_tz.Soc.optee soc) in
+    let claim = Watz_crypto.Sha256.digest "cli-application" in
+    let policy =
+      Watz_attest.Protocol.Verifier.make_policy ~identity_seed:"cli-relying-party"
+        ~endorsed_keys:[ Watz_attest.Service.public_key service ]
+        ~reference_claims:[ claim ] ~secret_blob:"provisioned secret" ()
+    in
+    let rng = Watz_util.Prng.create (Int64.of_float (Unix.gettimeofday () *. 1e6)) in
+    let result =
+      Watz_attest.Protocol.run_local
+        ~random:(Watz_util.Prng.bytes rng)
+        ~policy
+        ~issue:(fun ~anchor ->
+          Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence service ~anchor ~claim))
+        ~expected_verifier:policy.Watz_attest.Protocol.Verifier.identity_pub
+    in
+    match result with
+    | Ok r ->
+      Printf.printf "attestation succeeded; blob = %S\n" r.Watz_attest.Protocol.blob;
+      Printf.printf "evidence anchor: %s\n"
+        (Watz_util.Hex.encode
+           r.Watz_attest.Protocol.evidence.Watz_attest.Evidence.body.Watz_attest.Evidence.anchor)
+    | Error e -> Format.printf "attestation failed: %a@." Watz_attest.Protocol.pp_error e
+  in
+  Cmd.v (Cmd.info "attest" ~doc:"Run the remote attestation protocol end to end")
+    Term.(const run $ const ())
+
+let verify_protocol_cmd =
+  let run () =
+    List.iter
+      (fun v ->
+        Printf.printf "%-66s %s\n" v.Watz_attest.Symbolic.claim
+          (if v.Watz_attest.Symbolic.holds then "holds" else "VIOLATED"))
+      (Watz_attest.Symbolic.verify_protocol ());
+    List.iter
+      (fun (name, found) ->
+        Printf.printf "sanity attack [%s]: %s\n" name (if found then "found" else "NOT FOUND"))
+      (Watz_attest.Symbolic.attack_findings ())
+  in
+  Cmd.v (Cmd.info "verify-protocol" ~doc:"Dolev-Yao analysis of the Table II protocol")
+    Term.(const run $ const ())
+
+let sql_cmd =
+  let stmts = Arg.(non_empty & pos_all string [] & info [] ~docv:"SQL") in
+  let run stmts =
+    let db = Watz_workloads.Minidb.create () in
+    List.iter
+      (fun s ->
+        match Watz_workloads.Minidb.exec db s with
+        | result -> print_string (Watz_workloads.Minidb.render result)
+        | exception Watz_workloads.Minidb.Sql_error m -> Printf.printf "error: %s\n" m)
+      stmts
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Execute SQL statements against an in-enclave MiniDB (one per argument)")
+    Term.(const run $ stmts)
+
+let () =
+  let info = Cmd.info "watz" ~version:"1.0" ~doc:"WaTZ trusted Wasm runtime simulator" in
+  exit (Cmd.eval (Cmd.group info [ boot_cmd; measure_cmd; run_cmd; attest_cmd; verify_protocol_cmd; sql_cmd ]))

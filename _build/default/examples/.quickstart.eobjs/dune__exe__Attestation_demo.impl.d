@@ -1,0 +1,1 @@
+examples/attestation_demo.ml: Format List Printf String Watz Watz_attest Watz_crypto Watz_tz Watz_util Watz_wasmc

@@ -1,0 +1,1 @@
+examples/attested_ml.ml: Array Int32 Printf Stdlib String Unix Watz Watz_attest Watz_crypto Watz_tz Watz_util Watz_wasi Watz_wasm Watz_wasmc Watz_workloads

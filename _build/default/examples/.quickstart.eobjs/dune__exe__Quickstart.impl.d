@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Printf String Watz Watz_tz Watz_util Watz_wasm Watz_wasmc

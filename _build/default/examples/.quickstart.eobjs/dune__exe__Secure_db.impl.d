@@ -1,0 +1,1 @@
+examples/secure_db.ml: List Printf Unix Watz Watz_crypto Watz_tz Watz_wasm Watz_wasmc Watz_workloads

@@ -1,0 +1,110 @@
+(* The paper's end-to-end machine-learning scenario (§VI-F, Fig. 2):
+
+   a Genann neural network runs as a Wasm application inside WaTZ; the
+   training dataset is confidential, so the application attests itself
+   to a verifier over the WASI-RA protocol and receives the dataset as
+   the encrypted msg3 secret blob. Training then happens entirely in
+   the secure world.
+
+   dune exec examples/attested_ml.exe *)
+
+module GW = Watz_workloads.Genann_wasm
+module Iris = Watz_workloads.Iris
+module P = Watz_attest.Protocol
+open Watz_wasmc.Minic
+open Watz_wasmc.Minic.Dsl
+
+(* The attester app: the Genann network (from the workloads library)
+   extended with an "attest and fetch the dataset" entry point. Memory
+   layout: verifier identity at 34000 (a data segment, hence part of the
+   measured code), anchor at 34100, handles at 34200/34204, dataset at
+   GW.dataset_base. *)
+let attester_program ~verifier_key ~port ~mem_pages =
+  let base = GW.program ~mem_pages () in
+  let fetch =
+    fn "fetch_dataset" [] (Some I32)
+      [
+        DeclS ("rc", I32, Some (calle "net_handshake" [ i port; i 34000; i 34200; i 34100 ]));
+        if_ (v "rc" <> i 0) [ ret (i 100 + v "rc") ] [];
+        set "rc" (calle "collect_quote" [ i 34100; i 32; i 34204 ]);
+        if_ (v "rc" <> i 0) [ ret (i 200 + v "rc") ] [];
+        set "rc" (calle "net_send_quote" [ LoadE (I32, i 34200); LoadE (I32, i 34204) ]);
+        if_ (v "rc" <> i 0) [ ret (i 300 + v "rc") ] [];
+        set "rc"
+          (calle "net_receive_data" [ LoadE (I32, i 34200); i GW.dataset_base; i 16000000; i 34208 ]);
+        if_ (v "rc" <> i 0) [ ret (i 400 + v "rc") ] [];
+        ret (i 0);
+      ]
+  in
+  let blob_len = fn "blob_len" [] (Some I32) [ ret (LoadE (I32, i 34208)) ] in
+  {
+    base with
+    p_imports = Watz_wasi.Wasi_ra.minic_imports @ base.p_imports;
+    p_funs = base.p_funs @ [ fetch; blob_len ];
+    p_data = (34000, verifier_key) :: base.p_data;
+  }
+
+let () =
+  (* Device side. *)
+  let soc = Watz_tz.Soc.manufacture ~seed:"edge-device-17" () in
+  (match Watz_tz.Soc.boot soc with Ok _ -> () | Error _ -> failwith "boot failed");
+  let service = Watz_attest.Service.install (Watz_tz.Soc.optee soc) in
+  print_endline "[device] booted; attestation service installed";
+
+  (* Relying party: knows the device (endorsement), the expected app
+     measurement (reference value), and holds the confidential Iris
+     dataset. *)
+  let dataset = Iris.replicated_bytes ~seed:2026L ~target_bytes:102_400 in
+  let policy0 =
+    P.Verifier.make_policy ~identity_seed:"vedliot-relying-party"
+      ~endorsed_keys:[ Watz_attest.Service.public_key service ]
+      ~reference_claims:[] ~secret_blob:dataset ()
+  in
+  let verifier_key = Watz_crypto.P256.encode policy0.P.Verifier.identity_pub in
+  let port = 4433 in
+  let mem_pages = GW.pages_for_dataset (String.length dataset) in
+  let wasm = compile_to_bytes (attester_program ~verifier_key ~port ~mem_pages) in
+  let policy = { policy0 with P.Verifier.reference_claims = [ Watz.Runtime.measure wasm ] } in
+  let server = Watz.Verifier_app.start soc ~port ~policy in
+  Printf.printf "[verifier] listening on port %d; endorses 1 device, 1 reference measurement\n"
+    port;
+
+  (* Launch the attester inside WaTZ. *)
+  let config =
+    {
+      Watz.Runtime.default_config with
+      Watz.Runtime.heap_bytes = 17825792;
+      pump = (fun () -> Watz.Verifier_app.step server);
+    }
+  in
+  let app = Watz.Runtime.load ~config ~entry:None soc wasm in
+  Printf.printf "[watz] app loaded; measurement %s...\n"
+    (String.sub (Watz_util.Hex.encode (Watz.Runtime.claim app)) 0 16);
+
+  (* The app attests itself and fetches the dataset. *)
+  (match Watz.Runtime.invoke app "fetch_dataset" [] with
+  | [ Watz_wasm.Ast.VI32 0l ] -> print_endline "[watz] attestation succeeded; dataset received"
+  | [ Watz_wasm.Ast.VI32 rc ] -> failwith (Printf.sprintf "attestation failed: %ld" rc)
+  | _ -> failwith "unexpected result");
+  let n_bytes =
+    match Watz.Runtime.invoke app "blob_len" [] with
+    | [ Watz_wasm.Ast.VI32 n ] -> Int32.to_int n
+    | _ -> 0
+  in
+  let n_records = Stdlib.( / ) n_bytes Iris.record_bytes in
+  Printf.printf "[watz] %d bytes = %d Iris records provisioned over the secure channel\n" n_bytes
+    n_records;
+
+  (* Train inside the enclave and report accuracy. *)
+  let rng = Watz_util.Prng.create 3L in
+  let initial = Array.init GW.n_weights (fun _ -> Watz_util.Prng.float rng 1.0 -. 0.5) in
+  let invoke name args = Watz.Runtime.invoke app name args in
+  GW.seed_weights ~invoke initial;
+  let t0 = Unix.gettimeofday () in
+  GW.train ~invoke ~n_records ~epochs:3 ~rate:0.7;
+  let dt = Unix.gettimeofday () -. t0 in
+  let accuracy = GW.accuracy ~invoke ~n_records in
+  Printf.printf "[watz] trained 3 epochs over %d records in %.1f ms; accuracy %.1f%%\n" n_records
+    (dt *. 1000.0) (100.0 *. accuracy);
+  Watz.Runtime.unload app;
+  print_endline "[done] the dataset never existed in the normal world in clear"

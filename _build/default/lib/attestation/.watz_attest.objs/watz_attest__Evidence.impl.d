@@ -1,0 +1,1 @@
+lib/attestation/evidence.ml: Watz_crypto Watz_util

@@ -1,0 +1,1 @@
+lib/attestation/protocol.ml: Evidence Format List String Unix Watz_crypto

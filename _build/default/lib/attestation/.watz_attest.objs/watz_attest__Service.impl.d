@@ -1,0 +1,1 @@
+lib/attestation/service.ml: Evidence String Watz_crypto Watz_tz Watz_util

@@ -1,0 +1,1 @@
+lib/attestation/symbolic.ml: Set String

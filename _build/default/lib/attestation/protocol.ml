@@ -1,0 +1,368 @@
+(** The WaTZ remote-attestation protocol (Table II), adapted from the
+    Intel SGX end-to-end example (SIGMA-style) as described in §IV:
+
+    {v
+    msg0  attester -> verifier : G_a
+    msg1  verifier -> attester : content1 || MAC_Km(content1)
+          content1 := G_v || V || SIGN_V(G_v || G_a)
+    msg2  attester -> verifier : content2 || MAC_Km(content2)
+          content2 := G_a || evidence || SIGN_A(evidence)
+          anchor   := HASH(G_a || G_v)
+    msg3  verifier -> attester : iv || AES-GCM_Ke(secret blob)
+    v}
+
+    Both endpoints are pure state machines over byte strings, so they
+    run unchanged inside the simulated secure world (driven through the
+    supplicant socket RPCs) and in direct-call unit tests.
+
+    Every cryptographic operation is accounted to a {!meter} in the
+    paper's Table III categories (memory management, key generation,
+    symmetric and asymmetric cryptography). *)
+
+module C = Watz_crypto
+
+(* ------------------------------------------------------------------ *)
+(* Cost metering (Table III) *)
+
+type meter = {
+  mutable mem_ns : float;
+  mutable keygen_ns : float;
+  mutable sym_ns : float;
+  mutable asym_ns : float;
+}
+
+let fresh_meter () = { mem_ns = 0.0; keygen_ns = 0.0; sym_ns = 0.0; asym_ns = 0.0 }
+
+type category = Mem | Keygen | Sym | Asym
+
+let timed meter category f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+  (match category with
+  | Mem -> meter.mem_ns <- meter.mem_ns +. dt
+  | Keygen -> meter.keygen_ns <- meter.keygen_ns +. dt
+  | Sym -> meter.sym_ns <- meter.sym_ns +. dt
+  | Asym -> meter.asym_ns <- meter.asym_ns +. dt);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Errors *)
+
+type error =
+  | Bad_mac of string
+  | Bad_session_signature
+  | Unexpected_verifier_identity
+  | Session_key_mismatch
+  | Anchor_mismatch
+  | Unknown_device
+  | Bad_evidence_signature
+  | Outdated_version of string
+  | Unknown_measurement
+  | Decrypt_failed
+  | Malformed of string
+
+let pp_error ppf = function
+  | Bad_mac where -> Format.fprintf ppf "MAC verification failed on %s" where
+  | Bad_session_signature -> Format.fprintf ppf "signature over session keys invalid"
+  | Unexpected_verifier_identity ->
+    Format.fprintf ppf "verifier identity does not match the hardcoded key"
+  | Session_key_mismatch -> Format.fprintf ppf "session public key changed mid-protocol"
+  | Anchor_mismatch -> Format.fprintf ppf "evidence anchor does not match session keys"
+  | Unknown_device -> Format.fprintf ppf "attestation key is not endorsed"
+  | Bad_evidence_signature -> Format.fprintf ppf "evidence signature invalid"
+  | Outdated_version v -> Format.fprintf ppf "runtime version %S rejected by policy" v
+  | Unknown_measurement -> Format.fprintf ppf "code measurement matches no reference value"
+  | Decrypt_failed -> Format.fprintf ppf "secret blob failed authenticated decryption"
+  | Malformed what -> Format.fprintf ppf "malformed message: %s" what
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+let point_len = 65
+let mac_len = 16
+let sig_len = 64
+let iv_len = 12
+
+let anchor_of ~ga ~gv = C.Sha256.digest (ga ^ gv)
+
+let derive_session meter shared =
+  timed meter Sym (fun () -> C.Kdf.session_of_shared shared)
+
+let mac meter key content = timed meter Sym (fun () -> C.Cmac.mac ~key content)
+
+let check_mac meter key ~tag content ~where =
+  if timed meter Sym (fun () -> C.Cmac.verify ~key ~tag content) then Ok ()
+  else Error (Bad_mac where)
+
+let decode_point ~what raw =
+  match C.P256.decode raw with
+  | Some p -> Ok p
+  | None -> Error (Malformed (what ^ ": invalid curve point"))
+
+(* ------------------------------------------------------------------ *)
+(* Attester *)
+
+module Attester = struct
+  type state = Expect_msg1 | Need_evidence | Expect_msg3 | Complete | Failed
+
+  type t = {
+    keys : C.Ecdh.keypair;
+    expected_verifier : C.P256.point;
+        (* hardcoded in the Wasm application; part of its measurement *)
+    meter : meter;
+    mutable session : C.Kdf.session_keys option;
+    mutable anchor : string option;
+    mutable state : state;
+  }
+
+  (** [create ~random ~expected_verifier] makes a fresh session: an
+      ephemeral ECDHE key pair is generated immediately (cost ① in
+      Table III). *)
+  let create ~random ~expected_verifier =
+    let meter = fresh_meter () in
+    let keys = timed meter Keygen (fun () -> C.Ecdh.generate ~random) in
+    { keys; expected_verifier; meter; session = None; anchor = None; state = Expect_msg1 }
+
+  let meter t = t.meter
+
+  let msg0 t =
+    timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub)
+
+  (** Process msg1: key agreement (⑤), MAC, hardcoded-identity check,
+      session-key signature (④). Returns the session {e anchor} the
+      application must have attested (via the attestation service)
+      before calling {!msg2}. *)
+  let handle_msg1 t raw : (string, error) result =
+    if t.state <> Expect_msg1 then Error (Malformed "attester: unexpected msg1")
+    else begin
+      let expected_len = point_len + point_len + sig_len + mac_len in
+      if String.length raw <> expected_len then Error (Malformed "msg1 length")
+      else begin
+        let gv_raw = String.sub raw 0 point_len in
+        let v_raw = String.sub raw point_len point_len in
+        let sig_session = String.sub raw (2 * point_len) sig_len in
+        let tag = String.sub raw (expected_len - mac_len) mac_len in
+        let content1 = String.sub raw 0 (expected_len - mac_len) in
+        let* gv = decode_point ~what:"msg1 G_v" gv_raw in
+        let* v_pub = decode_point ~what:"msg1 V" v_raw in
+        (* Derive the shared secrets (⑤): needed before the MAC check. *)
+        let shared =
+          timed t.meter Keygen (fun () ->
+              C.Ecdh.shared_secret ~priv:t.keys.C.Ecdh.priv ~peer:gv)
+        in
+        match shared with
+        | None -> Error (Malformed "msg1: degenerate session key")
+        | Some shared ->
+          let session = derive_session t.meter shared in
+          let* () = check_mac t.meter session.C.Kdf.k_m ~tag content1 ~where:"msg1" in
+          (* The verifier identity must match the key hardcoded in the
+             (measured) application: a swapped key would change the
+             measurement and be caught by attestation. *)
+          if not (C.P256.equal v_pub t.expected_verifier) then
+            Error Unexpected_verifier_identity
+          else begin
+            let ga_raw = timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub) in
+            let session_sig_ok =
+              timed t.meter Asym (fun () ->
+                  C.Ecdsa.verify v_pub ~msg:(gv_raw ^ ga_raw) ~signature:sig_session)
+            in
+            if not session_sig_ok then Error Bad_session_signature
+            else begin
+              let anchor = anchor_of ~ga:ga_raw ~gv:gv_raw in
+              t.session <- Some session;
+              t.anchor <- Some anchor;
+              t.state <- Need_evidence;
+              Ok anchor
+            end
+          end
+      end
+    end
+
+  (** Build msg2 from evidence the application collected for the
+      session anchor (the signature inside came from the attestation
+      service — ⑥ in Table III happens there). *)
+  let msg2 t ~evidence : (string, error) result =
+    match (t.state, t.session) with
+    | Need_evidence, Some session ->
+      let ga_raw = timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub) in
+      let content2 = ga_raw ^ evidence in
+      let tag2 = mac t.meter session.C.Kdf.k_m content2 in
+      t.state <- Expect_msg3;
+      Ok (content2 ^ tag2)
+    | _, _ -> Error (Malformed "attester: msg2 before handshake")
+
+  let handle_msg3 t raw : (string, error) result =
+    if t.state <> Expect_msg3 then Error (Malformed "attester: unexpected msg3")
+    else
+      match t.session with
+      | None -> Error (Malformed "attester: no session keys")
+      | Some session ->
+        if String.length raw < iv_len + mac_len then Error (Malformed "msg3 length")
+        else begin
+          let iv = String.sub raw 0 iv_len in
+          let ct_len = String.length raw - iv_len - mac_len in
+          let ct = String.sub raw iv_len ct_len in
+          let tag = String.sub raw (iv_len + ct_len) mac_len in
+          let plain =
+            timed t.meter Sym (fun () ->
+                C.Gcm.decrypt ~key:session.C.Kdf.k_e ~iv ~tag ct)
+          in
+          match plain with
+          | None ->
+            t.state <- Failed;
+            Error Decrypt_failed
+          | Some blob ->
+            t.state <- Complete;
+            Ok blob
+        end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Verifier *)
+
+module Verifier = struct
+  type policy = {
+    identity_priv : C.Ecdsa.private_key;
+    identity_pub : C.P256.point;
+    endorsed_keys : C.P256.point list; (* known devices *)
+    reference_claims : string list; (* acceptable code measurements *)
+    accept_version : string -> bool;
+    secret_blob : string;
+  }
+
+  let make_policy ~identity_seed ~endorsed_keys ~reference_claims ?(accept_version = fun _ -> true)
+      ~secret_blob () =
+    let priv, pub = C.Ecdsa.keypair_of_seed ("verifier-identity:" ^ identity_seed) in
+    {
+      identity_priv = priv;
+      identity_pub = pub;
+      endorsed_keys;
+      reference_claims;
+      accept_version;
+      secret_blob;
+    }
+
+  type session = {
+    policy : policy;
+    keys : C.Ecdh.keypair;
+    ga_raw : string; (* attester's session key from msg0 *)
+    session_keys : C.Kdf.session_keys;
+    meter : meter;
+    mutable accepted_evidence : Evidence.signed option;
+  }
+
+  let meter s = s.meter
+
+  (** Handle msg0: generate the verifier's ephemeral pair and the
+      shared secrets (②), sign both session keys (③), reply msg1. *)
+  let handle_msg0 policy ~random raw : (session * string, error) result =
+    if String.length raw <> point_len then Error (Malformed "msg0 length")
+    else begin
+      let meter = fresh_meter () in
+      let* ga = decode_point ~what:"msg0 G_a" raw in
+      let keys = timed meter Keygen (fun () -> C.Ecdh.generate ~random) in
+      match timed meter Keygen (fun () -> C.Ecdh.shared_secret ~priv:keys.C.Ecdh.priv ~peer:ga) with
+      | None -> Error (Malformed "msg0: degenerate session key")
+      | Some shared ->
+        let session_keys = derive_session meter shared in
+        let gv_raw = timed meter Mem (fun () -> C.P256.encode keys.C.Ecdh.pub) in
+        let v_raw = C.P256.encode policy.identity_pub in
+        let signature =
+          timed meter Asym (fun () -> C.Ecdsa.sign policy.identity_priv (gv_raw ^ raw))
+        in
+        let content1 = gv_raw ^ v_raw ^ signature in
+        let tag = mac meter session_keys.C.Kdf.k_m content1 in
+        let session =
+          { policy; keys; ga_raw = raw; session_keys; meter; accepted_evidence = None }
+        in
+        Ok (session, content1 ^ tag)
+    end
+
+  (** Handle msg2: the full appraisal of §IV(d) — MAC, session-key
+      match, anchor, endorsement, evidence signature (⑦), version
+      policy and reference values. On success, msg3 carries the secret
+      blob under AES-GCM. *)
+  let handle_msg2 session ~random raw : (string, error) result =
+    if String.length raw < point_len + mac_len then Error (Malformed "msg2 length")
+    else begin
+      let content2 = String.sub raw 0 (String.length raw - mac_len) in
+      let tag = String.sub raw (String.length raw - mac_len) mac_len in
+      let* () =
+        check_mac session.meter session.session_keys.C.Kdf.k_m ~tag content2 ~where:"msg2"
+      in
+      let ga_raw = String.sub content2 0 point_len in
+      let evidence_raw = String.sub content2 point_len (String.length content2 - point_len) in
+      if not (String.equal ga_raw session.ga_raw) then Error Session_key_mismatch
+      else begin
+        match Evidence.decode evidence_raw with
+        | exception Evidence.Malformed m -> Error (Malformed ("evidence: " ^ m))
+        | evidence ->
+          let gv_raw = C.P256.encode session.keys.C.Ecdh.pub in
+          let expected_anchor = anchor_of ~ga:ga_raw ~gv:gv_raw in
+          if not (String.equal evidence.Evidence.body.Evidence.anchor expected_anchor) then
+            Error Anchor_mismatch
+          else if
+            not
+              (List.exists
+                 (C.P256.equal evidence.Evidence.body.Evidence.attestation_pubkey)
+                 session.policy.endorsed_keys)
+          then Error Unknown_device
+          else if
+            not (timed session.meter Asym (fun () -> Evidence.verify_signature evidence))
+          then Error Bad_evidence_signature
+          else if not (session.policy.accept_version evidence.Evidence.body.Evidence.version)
+          then Error (Outdated_version evidence.Evidence.body.Evidence.version)
+          else if
+            not
+              (List.exists
+                 (String.equal evidence.Evidence.body.Evidence.claim)
+                 session.policy.reference_claims)
+          then Error Unknown_measurement
+          else begin
+            session.accepted_evidence <- Some evidence;
+            let iv = random iv_len in
+            let ct, gcm_tag =
+              timed session.meter Sym (fun () ->
+                  C.Gcm.encrypt ~key:session.session_keys.C.Kdf.k_e ~iv
+                    session.policy.secret_blob)
+            in
+            Ok (iv ^ ct ^ gcm_tag)
+          end
+      end
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* In-memory end-to-end run (no transport) — used by tests, the
+   Table III bench and the Scyther-style trace printer. *)
+
+type run_result = {
+  blob : string;
+  attester_meter : meter;
+  verifier_meter : meter;
+  evidence : Evidence.signed;
+}
+
+let run_local ~random ~(policy : Verifier.policy) ~issue ~expected_verifier :
+    (run_result, error) result =
+  let attester = Attester.create ~random ~expected_verifier in
+  let m0 = Attester.msg0 attester in
+  let* vsession, m1 = Verifier.handle_msg0 policy ~random m0 in
+  let* anchor = Attester.handle_msg1 attester m1 in
+  let evidence = issue ~anchor in
+  let* m2 = Attester.msg2 attester ~evidence in
+  let* m3 = Verifier.handle_msg2 vsession ~random m2 in
+  let* blob = Attester.handle_msg3 attester m3 in
+  match vsession.Verifier.accepted_evidence with
+  | None -> Error (Malformed "verifier accepted nothing")
+  | Some evidence ->
+    Ok
+      {
+        blob;
+        attester_meter = Attester.meter attester;
+        verifier_meter = Verifier.meter vsession;
+        evidence;
+      }

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Buffer String Unix Watz_crypto Watz_tz Watz_wasi Watz_wasm

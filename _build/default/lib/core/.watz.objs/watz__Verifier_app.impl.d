@@ -1,0 +1,1 @@
+lib/core/verifier_app.ml: List Watz_attest Watz_tz Watz_util

@@ -1,0 +1,1 @@
+lib/core/wamr.ml: Buffer List Unix Watz_tz Watz_util Watz_wasi Watz_wasm

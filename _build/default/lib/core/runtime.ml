@@ -1,0 +1,172 @@
+(** The WaTZ runtime: a trusted application hosting Wasm inside the
+    secure world (§III, Fig. 1/2).
+
+    Launch flow, as in the paper: a normal-world client places the
+    Wasm binary in shared memory and invokes the (vendor-signed) WaTZ
+    TA; the runtime copies the bytecode into secure memory, {e
+    measures} it (the attestation claim), obtains executable pages via
+    the kernel extension, loads and instantiates the module with WASI +
+    WASI-RA bound to the GP API, and starts execution. Each phase is
+    timed to regenerate the Fig. 4 startup breakdown. *)
+
+module Wasi = Watz_wasi.Wasi
+module Wasi_ra = Watz_wasi.Wasi_ra
+
+type config = {
+  heap_bytes : int; (* TA heap reserved at session open (paper: per experiment) *)
+  stack_bytes : int;
+  args : string list;
+  pump : unit -> unit; (* normal-world scheduling hook for WASI-RA *)
+}
+
+let default_config =
+  { heap_bytes = 2 * 1024 * 1024; stack_bytes = 3 * 1024; args = [ "app.wasm" ]; pump = (fun () -> ()) }
+
+(** Wall-clock phase breakdown of a launch (Fig. 4). [transition_ns]
+    is the simulated world-switch cost; the others are measured. *)
+type startup = {
+  transition_ns : float;
+  alloc_ns : float; (* secure buffers + executable pages *)
+  hash_ns : float; (* bytecode measurement *)
+  runtime_init_ns : float; (* runtime environment + native symbols *)
+  load_ns : float; (* parsing + validation (relocation analogue) *)
+  instantiate_ns : float; (* closure compilation + segments *)
+  execute_ns : float; (* run to completion of the entry point *)
+}
+
+let total_ns s =
+  s.transition_ns +. s.alloc_ns +. s.hash_ns +. s.runtime_init_ns +. s.load_ns
+  +. s.instantiate_ns +. s.execute_ns
+
+type app = {
+  claim : string; (* SHA-256 measurement of the bytecode *)
+  instance : Watz_wasm.Aot.rinstance;
+  wasi_env : Wasi.env;
+  ra_env : Wasi_ra.env;
+  output : Buffer.t;
+  startup : startup;
+  session : Watz_tz.Optee.session;
+  soc : Watz_tz.Soc.t;
+}
+
+let watz_ta_uuid = "a7c9e1f0-watz-runtime"
+
+(** The WaTZ runtime TA descriptor; it must be vendor-signed to load,
+    unlike the Wasm applications it hosts. *)
+let runtime_ta ~config =
+  {
+    Watz_tz.Optee.ta_uuid = watz_ta_uuid;
+    ta_code_id = Watz_crypto.Sha256.digest "watz-runtime-code-1.0";
+    ta_signature = None;
+    ta_heap_bytes = config.heap_bytes;
+    ta_stack_bytes = config.stack_bytes;
+    ta_invoke = (fun _ ~cmd:_ _ -> "");
+  }
+
+exception App_trap of string
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  ((Unix.gettimeofday () -. t0) *. 1e9, r)
+
+(** [load soc ~config wasm_bytes] performs the full launch sequence
+    and runs the module's exported [_start] if present (pass
+    [~entry:None] to skip). Returns the running app for further
+    invocations. *)
+let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
+  let os = Watz_tz.Soc.optee soc in
+  (* Normal world: stage the binary in shared memory (9 MB cap). *)
+  let shm = Watz_tz.Optee.shm_alloc os (String.length wasm_bytes) in
+  Watz_tz.Optee.shm_write_normal os shm ~off:0 wasm_bytes;
+  (* Open the runtime TA session (signature check + heap reservation). *)
+  let ta = Watz_tz.Soc.sign_ta soc (runtime_ta ~config) in
+  let session = Watz_tz.Optee.open_session os ta in
+  let transition_ns = float_of_int soc.Watz_tz.Soc.costs.Watz_tz.Simclock.smc_enter_ns in
+  Watz_tz.Simclock.advance soc.Watz_tz.Soc.clock soc.Watz_tz.Soc.costs.Watz_tz.Simclock.smc_enter_ns;
+  (* Secure world: copy in, account heap, obtain executable pages. *)
+  let alloc_ns, bytecode =
+    time (fun () ->
+        let code = Watz_tz.Optee.shm_read_secure os shm ~off:0 ~len:shm.Watz_tz.Optee.shm_size in
+        Watz_tz.Optee.ta_malloc session (String.length code);
+        Watz_tz.Optee.ta_mprotect_exec session (String.length code);
+        code)
+  in
+  Watz_tz.Optee.shm_free os shm;
+  let hash_ns, claim = time (fun () -> Watz_crypto.Sha256.digest bytecode) in
+  let output = Buffer.create 256 in
+  let runtime_init_ns, (wasi_env, ra_env) =
+    time (fun () ->
+        let wasi_env =
+          Wasi.make_env ~args:config.args
+            ~clock_ns:(fun () ->
+              (* WASI clock_time_get: RPC to the normal world plus the
+                 WASI dispatch overhead (Fig. 3a: ~13 us for Wasm). *)
+              Watz_tz.Simclock.advance soc.Watz_tz.Soc.clock
+                soc.Watz_tz.Soc.costs.Watz_tz.Simclock.wasi_dispatch_ns;
+              Watz_tz.Optee.ree_time_ns os)
+            ~random:(Watz_tz.Optee.generate_random os)
+            ~write_out:(Buffer.add_string output) ()
+        in
+        let ra_env =
+          Wasi_ra.make_env ~os ~claim ~random:(Watz_tz.Optee.generate_random os)
+            ~pump:config.pump wasi_env
+        in
+        (wasi_env, ra_env))
+  in
+  let load_ns, module_ =
+    time (fun () ->
+        let m = Watz_wasm.Decode.decode bytecode in
+        Watz_wasm.Validate.validate m;
+        m)
+  in
+  let instantiate_ns, instance =
+    time (fun () ->
+        let imports = Wasi.aot_imports wasi_env @ Wasi_ra.aot_imports ra_env in
+        let inst = Watz_wasm.Aot.instantiate ~imports module_ in
+        Wasi.attach_aot_memory wasi_env inst;
+        (* Enforce the TA heap budget on the app's linear memory. *)
+        (match wasi_env.Wasi.memory with
+        | Some mem -> Watz_wasm.Instance.Memory.set_limit_bytes mem (Some config.heap_bytes)
+        | None -> ());
+        inst)
+  in
+  let execute_ns, () =
+    time (fun () ->
+        match entry with
+        | None -> ()
+        | Some name -> (
+          match Watz_wasm.Aot.export_func instance name with
+          | None -> ()
+          | Some f -> (
+            try ignore (Watz_wasm.Aot.invoke_funcinst instance f [])
+            with Wasi.Proc_exit code -> wasi_env.Wasi.exit_code <- Some code)))
+  in
+  Watz_tz.Simclock.advance soc.Watz_tz.Soc.clock soc.Watz_tz.Soc.costs.Watz_tz.Simclock.smc_return_ns;
+  {
+    claim;
+    instance;
+    wasi_env;
+    ra_env;
+    output;
+    startup =
+      { transition_ns; alloc_ns; hash_ns; runtime_init_ns; load_ns; instantiate_ns; execute_ns };
+    session;
+    soc;
+  }
+
+(** Invoke an export of a loaded app (stays in the secure world; the
+    caller is charged one world round trip). *)
+let invoke app name args =
+  Watz_tz.Soc.smc app.soc (fun () ->
+      try Watz_wasm.Aot.invoke app.instance name args
+      with Watz_wasm.Instance.Trap m -> raise (App_trap m))
+
+let output app = Buffer.contents app.output
+let claim app = app.claim
+
+let unload app = Watz_tz.Optee.close_session app.session
+
+(** Measure the bytecode exactly as the runtime would, without
+    launching (used by verifiers to compute reference values). *)
+let measure wasm_bytes = Watz_crypto.Sha256.digest wasm_bytes

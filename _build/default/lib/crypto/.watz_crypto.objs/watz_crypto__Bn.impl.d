@@ -1,0 +1,1 @@
+lib/crypto/bn.ml: Array Char Format Stdlib String Watz_util

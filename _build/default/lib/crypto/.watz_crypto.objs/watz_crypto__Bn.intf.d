@@ -1,0 +1,1 @@
+lib/crypto/bn.mli: Format

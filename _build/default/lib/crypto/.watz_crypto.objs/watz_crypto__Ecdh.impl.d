@@ -1,0 +1,1 @@
+lib/crypto/ecdh.ml: Bn P256

@@ -1,0 +1,1 @@
+lib/crypto/ecdh.mli: Bn P256

@@ -1,0 +1,1 @@
+lib/crypto/ecdsa.ml: Bn Char Hmac Modring P256 Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/ecdsa.mli: P256

@@ -1,0 +1,1 @@
+lib/crypto/fortuna.ml: Aes Buffer Bytes Char Sha256 String

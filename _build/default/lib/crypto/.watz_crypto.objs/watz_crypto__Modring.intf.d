@@ -1,0 +1,1 @@
+lib/crypto/modring.mli: Bn

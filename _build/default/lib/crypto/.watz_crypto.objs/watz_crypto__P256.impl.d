@@ -1,0 +1,1 @@
+lib/crypto/p256.ml: Bn Modring String

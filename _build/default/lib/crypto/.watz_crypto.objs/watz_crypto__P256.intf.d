@@ -1,0 +1,1 @@
+lib/crypto/p256.mli: Bn Modring

@@ -1,0 +1,51 @@
+let xor16 a b = String.init 16 (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+(* Left-shift a 16-byte string by one bit. *)
+let shl1 s =
+  let out = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 15 downto 0 do
+    let v = (Char.code s.[i] lsl 1) lor !carry in
+    Bytes.set out i (Char.chr (v land 0xff));
+    carry := v lsr 8
+  done;
+  (Bytes.to_string out, !carry)
+
+let subkey l =
+  let shifted, msb = shl1 l in
+  if msb = 1 then
+    String.mapi (fun i c -> if i = 15 then Char.chr (Char.code c lxor 0x87) else c) shifted
+  else shifted
+
+let mac ~key msg =
+  if String.length key <> 16 then invalid_arg "Cmac.mac: key must be 16 bytes";
+  let aes = Aes.expand_key key in
+  let l = Aes.encrypt_block aes (String.make 16 '\000') in
+  let k1 = subkey l in
+  let k2 = subkey k1 in
+  let len = String.length msg in
+  let n_blocks = if len = 0 then 1 else (len + 15) / 16 in
+  let complete = len > 0 && len mod 16 = 0 in
+  let last =
+    if complete then xor16 (String.sub msg (len - 16) 16) k1
+    else begin
+      let rem = len - (16 * (n_blocks - 1)) in
+      let padded =
+        String.sub msg (16 * (n_blocks - 1)) rem ^ "\x80" ^ String.make (15 - rem) '\000'
+      in
+      xor16 padded k2
+    end
+  in
+  let x = ref (String.make 16 '\000') in
+  for i = 0 to n_blocks - 2 do
+    x := Aes.encrypt_block aes (xor16 !x (String.sub msg (16 * i) 16))
+  done;
+  Aes.encrypt_block aes (xor16 !x last)
+
+let verify ~key ~tag msg =
+  let expected = mac ~key msg in
+  let diff = ref (String.length tag lxor 16) in
+  String.iteri
+    (fun i c -> if i < 16 then diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  !diff = 0

@@ -1,0 +1,10 @@
+(** AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+    WaTZ uses AES-CMAC-128 both to authenticate protocol messages and as
+    the pseudo-random function of the SGX-style key-derivation schedule
+    ({!Kdf}). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 16-byte CMAC tag. [key] must be 16 bytes. *)
+
+val verify : key:string -> tag:string -> string -> bool

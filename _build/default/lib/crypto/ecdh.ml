@@ -1,0 +1,14 @@
+type keypair = { priv : Bn.t; pub : P256.point }
+
+let generate ~random =
+  let rec draw () =
+    let d = Bn.of_bytes_be (random 32) in
+    if Bn.is_zero d || Bn.compare d P256.n >= 0 then draw ()
+    else { priv = d; pub = P256.base_mul d }
+  in
+  draw ()
+
+let shared_secret ~priv ~peer =
+  match P256.to_affine (P256.mul priv peer) with
+  | None -> None
+  | Some (x, _) -> Some (Bn.to_bytes_be ~len:32 x)

@@ -1,0 +1,15 @@
+(** Ephemeral elliptic-curve Diffie–Hellman on P-256 (ECDHE).
+
+    Session key pairs are generated fresh for every remote-attestation
+    run, providing the freshness and forward-secrecy requirements of
+    §IV. *)
+
+type keypair = { priv : Bn.t; pub : P256.point }
+
+val generate : random:(int -> string) -> keypair
+(** [generate ~random] draws candidate scalars from [random] (a byte
+    source such as {!Fortuna.generate}) until a valid one appears. *)
+
+val shared_secret : priv:Bn.t -> peer:P256.point -> string option
+(** The 32-byte big-endian x-coordinate of [priv * peer], or [None] if
+    the result is the point at infinity (invalid peer key). *)

@@ -1,0 +1,91 @@
+type private_key = Bn.t
+type public_key = P256.point
+
+let n = P256.n
+
+let private_of_bytes s =
+  if String.length s <> 32 then invalid_arg "Ecdsa.private_of_bytes: need 32 bytes";
+  let d = Bn.mod_ (Bn.of_bytes_be s) n in
+  if Bn.is_zero d then Bn.one else d
+
+let private_to_bytes d = Bn.to_bytes_be ~len:32 d
+let public_of_private d = P256.base_mul d
+
+let keypair_of_seed seed =
+  (* Hash a counter with the seed until a valid scalar appears; with a
+     256-bit group this virtually always succeeds on the first try. *)
+  let rec candidate i =
+    let h = Sha256.digest_list [ "watz-keygen"; seed; String.make 1 (Char.chr i) ] in
+    let d = Bn.of_bytes_be h in
+    if Bn.is_zero d || Bn.compare d n >= 0 then candidate (i + 1) else d
+  in
+  let d = candidate 0 in
+  (d, public_of_private d)
+
+(* RFC 6979 deterministic nonce generation, specialised to SHA-256 and
+   a 256-bit group order (so bits2int is the identity on digests). *)
+let rfc6979_k d digest =
+  let x = Bn.to_bytes_be ~len:32 d in
+  let h1 =
+    (* bits2octets: reduce the digest mod n, re-encode on 32 bytes. *)
+    Bn.to_bytes_be ~len:32 (Bn.mod_ (Bn.of_bytes_be digest) n)
+  in
+  let v = ref (String.make 32 '\x01') in
+  let k = ref (String.make 32 '\x00') in
+  k := Hmac.sha256 ~key:!k (!v ^ "\x00" ^ x ^ h1);
+  v := Hmac.sha256 ~key:!k !v;
+  k := Hmac.sha256 ~key:!k (!v ^ "\x01" ^ x ^ h1);
+  v := Hmac.sha256 ~key:!k !v;
+  let rec attempt () =
+    v := Hmac.sha256 ~key:!k !v;
+    let candidate = Bn.of_bytes_be !v in
+    if (not (Bn.is_zero candidate)) && Bn.compare candidate n < 0 then candidate
+    else begin
+      k := Hmac.sha256 ~key:!k (!v ^ "\x00");
+      v := Hmac.sha256 ~key:!k !v;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let sign_digest d digest =
+  if String.length digest <> 32 then invalid_arg "Ecdsa.sign_digest: need 32 bytes";
+  let z = Bn.mod_ (Bn.of_bytes_be digest) n in
+  let rec attempt k =
+    match P256.to_affine (P256.base_mul k) with
+    | None -> attempt (Bn.add k Bn.one)
+    | Some (x1, _) ->
+      let r = Bn.mod_ x1 n in
+      if Bn.is_zero r then attempt (Bn.add k Bn.one)
+      else begin
+        let kinv = Modring.inv_prime P256.order k in
+        let s =
+          Modring.mul P256.order kinv (Modring.add P256.order z (Modring.mul P256.order r d))
+        in
+        if Bn.is_zero s then attempt (Bn.add k Bn.one)
+        else Bn.to_bytes_be ~len:32 r ^ Bn.to_bytes_be ~len:32 s
+      end
+  in
+  attempt (rfc6979_k d digest)
+
+let sign d msg = sign_digest d (Sha256.digest msg)
+
+let verify_digest q ~digest ~signature =
+  String.length signature = 64 && String.length digest = 32
+  && (not (P256.is_infinity q))
+  &&
+  let r = Bn.of_bytes_be (String.sub signature 0 32) in
+  let s = Bn.of_bytes_be (String.sub signature 32 32) in
+  let valid_range v = (not (Bn.is_zero v)) && Bn.compare v n < 0 in
+  valid_range r && valid_range s
+  &&
+  let z = Bn.mod_ (Bn.of_bytes_be digest) n in
+  let sinv = Modring.inv_prime P256.order s in
+  let u1 = Modring.mul P256.order z sinv in
+  let u2 = Modring.mul P256.order r sinv in
+  let pt = P256.add (P256.base_mul u1) (P256.mul u2 q) in
+  match P256.to_affine pt with
+  | None -> false
+  | Some (x1, _) -> Bn.equal (Bn.mod_ x1 n) r
+
+let verify q ~msg ~signature = verify_digest q ~digest:(Sha256.digest msg) ~signature

@@ -1,0 +1,44 @@
+type t = {
+  mutable key : string; (* 32 bytes once seeded *)
+  counter : Bytes.t; (* 16-byte little-endian block counter *)
+  mutable seeded : bool;
+}
+
+let create () = { key = String.make 32 '\000'; counter = Bytes.make 16 '\000'; seeded = false }
+
+let increment_counter t =
+  let rec bump i =
+    if i < 16 then begin
+      let v = Char.code (Bytes.get t.counter i) + 1 in
+      Bytes.set t.counter i (Char.chr (v land 0xff));
+      if v > 0xff then bump (i + 1)
+    end
+  in
+  bump 0
+
+let reseed t seed =
+  t.key <- Sha256.digest_list [ t.key; seed ];
+  t.seeded <- true;
+  increment_counter t
+
+let of_seed seed =
+  let t = create () in
+  reseed t seed;
+  t
+
+let generate_blocks t aes count =
+  let out = Buffer.create (16 * count) in
+  for _ = 1 to count do
+    Buffer.add_string out (Aes.encrypt_block aes (Bytes.to_string t.counter));
+    increment_counter t
+  done;
+  Buffer.contents out
+
+let generate t n =
+  if not t.seeded then failwith "Fortuna.generate: generator not seeded";
+  if n < 0 || n > 1 lsl 20 then invalid_arg "Fortuna.generate: request too large";
+  let aes = Aes.expand_key t.key in
+  let data = generate_blocks t aes ((n + 15) / 16) in
+  (* Rekey so that a later state compromise cannot reveal past output. *)
+  t.key <- generate_blocks t aes 2;
+  String.sub data 0 n

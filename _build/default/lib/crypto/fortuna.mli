@@ -1,0 +1,24 @@
+(** The Fortuna pseudo-random generator (Ferguson–Schneier), generator
+    part: an AES-256-CTR stream rekeyed after every request.
+
+    The paper extends OP-TEE's LibTomCrypt with Fortuna because the
+    stock PRNG cannot be seeded: WaTZ must derive the {e same}
+    attestation key pair at every boot from the hardware root of trust.
+    A [t] seeded with identical bytes yields an identical stream. *)
+
+type t
+
+val create : unit -> t
+(** An unseeded generator; {!generate} raises until {!reseed} is
+    called. *)
+
+val of_seed : string -> t
+(** [of_seed s] is [create] followed by [reseed s]. *)
+
+val reseed : t -> string -> unit
+(** Mixes seed material into the key: [key <- SHA-256(key || seed)]. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces [n] pseudo-random bytes and rekeys.
+    Raises [Failure] if the generator was never seeded, and
+    [Invalid_argument] beyond the per-request limit of 2{^20} bytes. *)

@@ -1,0 +1,118 @@
+(* 128-bit blocks are held as pairs of int64 (big-endian halves). *)
+
+type block = int64 * int64
+
+let block_of_string s off : block =
+  let get i =
+    if off + i < String.length s then Int64.of_int (Char.code s.[off + i]) else 0L
+  in
+  let half base =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor (Int64.shift_left !v 8) (get (base + i))
+    done;
+    !v
+  in
+  (half 0, half 8)
+
+let string_of_block ((hi, lo) : block) =
+  String.init 16 (fun i ->
+      let word = if i < 8 then hi else lo in
+      Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * (7 - (i mod 8)))) land 0xff))
+
+let xor_block ((a, b) : block) ((c, d) : block) : block = (Int64.logxor a c, Int64.logxor b d)
+
+(* GF(2^128) multiplication, right-shift method from SP 800-38D 6.3. *)
+let gf_mul (x : block) (y : block) : block =
+  let z = ref (0L, 0L) in
+  let v = ref y in
+  let xhi, xlo = x in
+  for i = 0 to 127 do
+    let bit =
+      if i < 64 then Int64.logand (Int64.shift_right_logical xhi (63 - i)) 1L
+      else Int64.logand (Int64.shift_right_logical xlo (127 - i)) 1L
+    in
+    if Int64.equal bit 1L then z := xor_block !z !v;
+    let vhi, vlo = !v in
+    let lsb = Int64.logand vlo 1L in
+    let vlo' =
+      Int64.logor (Int64.shift_right_logical vlo 1) (Int64.shift_left vhi 63)
+    in
+    let vhi' = Int64.shift_right_logical vhi 1 in
+    v := if Int64.equal lsb 1L then (Int64.logxor vhi' 0xe100000000000000L, vlo') else (vhi', vlo')
+  done;
+  !z
+
+let ghash h data_parts =
+  let y = ref (0L, 0L) in
+  let absorb s =
+    let len = String.length s in
+    let blocks = (len + 15) / 16 in
+    for i = 0 to blocks - 1 do
+      y := gf_mul (xor_block !y (block_of_string s (16 * i))) h
+    done
+  in
+  List.iter absorb data_parts;
+  !y
+
+let inc32 ((hi, lo) : block) : block =
+  let counter = Int64.logand lo 0xffffffffL in
+  let counter' = Int64.logand (Int64.add counter 1L) 0xffffffffL in
+  (hi, Int64.logor (Int64.logand lo 0xffffffff00000000L) counter')
+
+let length_block aad_len ct_len : block =
+  (Int64.of_int (8 * aad_len), Int64.of_int (8 * ct_len))
+
+let derive ~key ~iv =
+  let aes = Aes.expand_key key in
+  let h = block_of_string (Aes.encrypt_block aes (String.make 16 '\000')) 0 in
+  let j0 =
+    if String.length iv = 12 then block_of_string (iv ^ "\000\000\000\001") 0
+    else begin
+      if String.length iv = 0 then invalid_arg "Gcm: empty IV";
+      let pad = (16 - (String.length iv mod 16)) mod 16 in
+      let lenb = string_of_block (0L, Int64.of_int (8 * String.length iv)) in
+      ghash h [ iv ^ String.make pad '\000' ^ lenb ]
+    end
+  in
+  (aes, h, j0)
+
+let ctr_transform aes j0 input =
+  let len = String.length input in
+  let out = Bytes.create len in
+  let counter = ref j0 in
+  let blocks = (len + 15) / 16 in
+  for i = 0 to blocks - 1 do
+    counter := inc32 !counter;
+    let keystream = Aes.encrypt_block aes (string_of_block !counter) in
+    let base = 16 * i in
+    let n = min 16 (len - base) in
+    for j = 0 to n - 1 do
+      Bytes.set out (base + j)
+        (Char.chr (Char.code input.[base + j] lxor Char.code keystream.[j]))
+    done
+  done;
+  Bytes.to_string out
+
+let compute_tag aes h j0 ~aad ~ct =
+  let pad s = String.make ((16 - (String.length s mod 16)) mod 16) '\000' in
+  let s =
+    ghash h [ aad ^ pad aad; ct ^ pad ct; string_of_block (length_block (String.length aad) (String.length ct)) ]
+  in
+  let ek_j0 = block_of_string (Aes.encrypt_block aes (string_of_block j0)) 0 in
+  string_of_block (xor_block s ek_j0)
+
+let encrypt ~key ~iv ?(aad = "") plaintext =
+  let aes, h, j0 = derive ~key ~iv in
+  let ct = ctr_transform aes j0 plaintext in
+  (ct, compute_tag aes h j0 ~aad ~ct)
+
+let decrypt ~key ~iv ?(aad = "") ~tag ciphertext =
+  let aes, h, j0 = derive ~key ~iv in
+  let expected = compute_tag aes h j0 ~aad ~ct:ciphertext in
+  (* Constant-time-style comparison: accumulate differences. *)
+  let diff = ref (String.length tag lxor 16) in
+  String.iteri
+    (fun i c -> if i < 16 then diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  if !diff = 0 then Some (ctr_transform aes j0 ciphertext) else None

@@ -1,0 +1,15 @@
+(** AES-GCM authenticated encryption (NIST SP 800-38D).
+
+    WaTZ uses AES-GCM-128 to protect the secret blob of msg3 in the
+    remote-attestation protocol. *)
+
+val encrypt :
+  key:string -> iv:string -> ?aad:string -> string -> string * string
+(** [encrypt ~key ~iv ~aad plaintext] is [(ciphertext, tag)] with a
+    16-byte tag. The IV may be any non-empty length; 12 bytes is the
+    fast path. *)
+
+val decrypt :
+  key:string -> iv:string -> ?aad:string -> tag:string -> string -> string option
+(** [decrypt ~key ~iv ~aad ~tag ciphertext] is [Some plaintext] when the
+    tag authenticates, [None] otherwise. *)

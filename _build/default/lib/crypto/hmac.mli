@@ -1,0 +1,5 @@
+(** HMAC-SHA-256 (RFC 2104), used by the RFC 6979 deterministic nonce
+    generator. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte HMAC tag. *)

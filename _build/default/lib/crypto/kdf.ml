@@ -1,0 +1,14 @@
+type session_keys = { kdk : string; k_m : string; k_e : string }
+
+let reverse_bytes s = String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+
+let kdk_of_shared gab_x =
+  if String.length gab_x <> 32 then invalid_arg "Kdf.kdk_of_shared: need 32 bytes";
+  (* Intel's derivation feeds the little-endian x-coordinate. *)
+  Cmac.mac ~key:(String.make 16 '\000') (reverse_bytes gab_x)
+
+let derive_label ~kdk label = Cmac.mac ~key:kdk ("\x01" ^ label ^ "\x00\x80\x00")
+
+let session_of_shared gab_x =
+  let kdk = kdk_of_shared gab_x in
+  { kdk; k_m = derive_label ~kdk "SMK"; k_e = derive_label ~kdk "SK" }

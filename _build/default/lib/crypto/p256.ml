@@ -1,0 +1,137 @@
+(* Domain parameters from SEC 2 / FIPS 186-4. *)
+
+let p = Bn.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+let n = Bn.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"
+let b_coeff = Bn.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"
+let gx = Bn.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"
+let gy = Bn.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"
+let field = Modring.create p
+let order = Modring.create n
+let a_coeff = Bn.sub p (Bn.of_int 3) (* a = -3 mod p *)
+
+(* Jacobian coordinates: (X, Y, Z) represents (X/Z^2, Y/Z^3); Z = 0 is
+   the point at infinity. *)
+type point = { x : Bn.t; y : Bn.t; z : Bn.t }
+
+let infinity = { x = Bn.one; y = Bn.one; z = Bn.zero }
+let is_infinity pt = Bn.is_zero pt.z
+
+let on_curve x y =
+  let f = field in
+  if Bn.compare x p >= 0 || Bn.compare y p >= 0 then false
+  else
+    let lhs = Modring.sqr f y in
+    let rhs = Modring.add f (Modring.mul f (Modring.sqr f x) x)
+        (Modring.add f (Modring.mul f a_coeff x) b_coeff)
+    in
+    Bn.equal lhs rhs
+
+let of_affine x y =
+  if not (on_curve x y) then invalid_arg "P256.of_affine: point not on curve";
+  { x; y; z = Bn.one }
+
+let base = { x = gx; y = gy; z = Bn.one }
+
+let to_affine pt =
+  if is_infinity pt then None
+  else begin
+    let f = field in
+    let zinv = Modring.inv_prime f pt.z in
+    let zinv2 = Modring.sqr f zinv in
+    let zinv3 = Modring.mul f zinv2 zinv in
+    Some (Modring.mul f pt.x zinv2, Modring.mul f pt.y zinv3)
+  end
+
+(* dbl-2001-b: standard Jacobian doubling for a = -3. *)
+let double pt =
+  if is_infinity pt || Bn.is_zero pt.y then infinity
+  else begin
+    let f = field in
+    let delta = Modring.sqr f pt.z in
+    let gamma = Modring.sqr f pt.y in
+    let beta = Modring.mul f pt.x gamma in
+    let alpha =
+      Modring.mul f (Bn.of_int 3)
+        (Modring.mul f (Modring.sub f pt.x delta) (Modring.add f pt.x delta))
+    in
+    let x3 = Modring.sub f (Modring.sqr f alpha) (Modring.mul f (Bn.of_int 8) beta) in
+    let z3 =
+      Modring.sub f (Modring.sqr f (Modring.add f pt.y pt.z))
+        (Modring.add f gamma delta)
+    in
+    let y3 =
+      Modring.sub f
+        (Modring.mul f alpha (Modring.sub f (Modring.mul f (Bn.of_int 4) beta) x3))
+        (Modring.mul f (Bn.of_int 8) (Modring.sqr f gamma))
+    in
+    { x = x3; y = y3; z = z3 }
+  end
+
+(* add-2007-bl, with the equal/opposite special cases dispatched. *)
+let add p1 p2 =
+  if is_infinity p1 then p2
+  else if is_infinity p2 then p1
+  else begin
+    let f = field in
+    let z1z1 = Modring.sqr f p1.z in
+    let z2z2 = Modring.sqr f p2.z in
+    let u1 = Modring.mul f p1.x z2z2 in
+    let u2 = Modring.mul f p2.x z1z1 in
+    let s1 = Modring.mul f p1.y (Modring.mul f z2z2 p2.z) in
+    let s2 = Modring.mul f p2.y (Modring.mul f z1z1 p1.z) in
+    if Bn.equal u1 u2 then
+      if Bn.equal s1 s2 then double p1 else infinity
+    else begin
+      let h = Modring.sub f u2 u1 in
+      let i = Modring.sqr f (Modring.mul f (Bn.of_int 2) h) in
+      let j = Modring.mul f h i in
+      let r = Modring.mul f (Bn.of_int 2) (Modring.sub f s2 s1) in
+      let v = Modring.mul f u1 i in
+      let x3 =
+        Modring.sub f (Modring.sub f (Modring.sqr f r) j) (Modring.mul f (Bn.of_int 2) v)
+      in
+      let y3 =
+        Modring.sub f
+          (Modring.mul f r (Modring.sub f v x3))
+          (Modring.mul f (Bn.of_int 2) (Modring.mul f s1 j))
+      in
+      let z3 =
+        Modring.mul f h
+          (Modring.sub f (Modring.sqr f (Modring.add f p1.z p2.z)) (Bn.add z1z1 z2z2 |> Modring.reduce f))
+      in
+      { x = x3; y = y3; z = z3 }
+    end
+  end
+
+let mul k pt =
+  let k = Bn.mod_ k n in
+  let bits = Bn.bit_length k in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let acc = double acc in
+      let acc = if Bn.testbit k i then add acc pt else acc in
+      go (i - 1) acc
+  in
+  go (bits - 1) infinity
+
+let base_mul k = mul k base
+
+let equal p1 p2 =
+  match (to_affine p1, to_affine p2) with
+  | None, None -> true
+  | Some (x1, y1), Some (x2, y2) -> Bn.equal x1 x2 && Bn.equal y1 y2
+  | None, Some _ | Some _, None -> false
+
+let encode pt =
+  match to_affine pt with
+  | None -> invalid_arg "P256.encode: point at infinity"
+  | Some (x, y) -> "\x04" ^ Bn.to_bytes_be ~len:32 x ^ Bn.to_bytes_be ~len:32 y
+
+let decode s =
+  if String.length s <> 65 || s.[0] <> '\x04' then None
+  else begin
+    let x = Bn.of_bytes_be (String.sub s 1 32) in
+    let y = Bn.of_bytes_be (String.sub s 33 32) in
+    if on_curve x y then Some { x; y; z = Bn.one } else None
+  end

@@ -1,0 +1,44 @@
+(** The NIST P-256 (secp256r1) elliptic curve.
+
+    WaTZ selects this curve (§V) for the attestation key pair (ECDSA),
+    the session keys (ECDHE) and the evidence signatures. Points are
+    computed in Jacobian coordinates over the {!Modring} field. *)
+
+type point
+(** A point on the curve, including the point at infinity. *)
+
+val field : Modring.t
+(** The prime field F{_p}. *)
+
+val order : Modring.t
+(** The (prime) group order ring F{_n}. *)
+
+val n : Bn.t
+(** The group order as an integer. *)
+
+val infinity : point
+val is_infinity : point -> bool
+val base : point
+(** The standard generator G. *)
+
+val of_affine : Bn.t -> Bn.t -> point
+(** Raises [Invalid_argument] if the coordinates are not on the curve. *)
+
+val to_affine : point -> (Bn.t * Bn.t) option
+(** [None] for the point at infinity. *)
+
+val add : point -> point -> point
+val double : point -> point
+val mul : Bn.t -> point -> point
+(** Scalar multiplication (left-to-right double-and-add). *)
+
+val base_mul : Bn.t -> point
+val equal : point -> point -> bool
+val on_curve : Bn.t -> Bn.t -> bool
+
+val encode : point -> string
+(** Uncompressed SEC 1 encoding: [0x04 || x || y], 65 bytes. Raises
+    [Invalid_argument] on the point at infinity. *)
+
+val decode : string -> point option
+(** Parses and validates an uncompressed point. *)

@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for code measurements of Wasm bytecode, the evidence anchor,
+    RFC 6979 nonce derivation, and Fortuna reseeding. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash of a whole string. *)
+
+val digest_list : string list -> string
+(** Hash of the concatenation of the list, without materializing it. *)

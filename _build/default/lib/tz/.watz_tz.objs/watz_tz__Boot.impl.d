@@ -1,0 +1,1 @@
+lib/tz/boot.ml: Format Fuses List String Watz_crypto

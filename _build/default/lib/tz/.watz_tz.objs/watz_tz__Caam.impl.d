@@ -1,0 +1,1 @@
+lib/tz/caam.ml: Fuses Watz_crypto

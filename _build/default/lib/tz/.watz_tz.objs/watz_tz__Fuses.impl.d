@@ -1,0 +1,1 @@
+lib/tz/fuses.ml: String

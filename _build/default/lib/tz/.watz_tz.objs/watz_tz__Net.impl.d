@@ -1,0 +1,1 @@
+lib/tz/net.ml: Buffer Hashtbl Int32 Queue String Watz_util

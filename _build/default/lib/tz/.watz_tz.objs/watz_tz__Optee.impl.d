@@ -1,0 +1,1 @@
+lib/tz/optee.ml: Boot Bytes Caam Int64 Lazy List Net Printf Simclock String Watz_crypto Watz_util

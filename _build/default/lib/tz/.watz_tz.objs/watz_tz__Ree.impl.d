@@ -1,0 +1,1 @@
+lib/tz/ree.ml: Optee Soc

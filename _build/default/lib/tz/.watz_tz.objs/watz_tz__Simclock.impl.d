@@ -1,0 +1,1 @@
+lib/tz/simclock.ml: Int64

@@ -1,0 +1,1 @@
+lib/tz/soc.ml: Boot Caam Format Fuses Hashtbl Int64 Net Optee Simclock Watz_util

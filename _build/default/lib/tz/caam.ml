@@ -1,0 +1,22 @@
+(** Cryptographic accelerator and assurance module (CAAM).
+
+    The CAAM turns the fused OTPMK into the master key verification
+    blob (MKVB). Crucially, the hash is {e world-dependent} (§V): a
+    thread in the normal world obtains a different value than one in
+    the secure world, so the secure world's key material cannot be
+    reproduced outside TrustZone. *)
+
+type world = Normal_world | Secure_world
+
+let world_tag = function Normal_world -> "nw" | Secure_world -> "sw"
+
+(** [mkvb fuses world] is the 32-byte world-specific master key
+    verification blob. *)
+let mkvb fuses world =
+  let otpmk = Fuses.otpmk_for_caam fuses in
+  Watz_crypto.Sha256.digest_list [ "caam-mkvb:"; world_tag world; ":"; otpmk ]
+
+(** OP-TEE's [huk_subkey_derive]: label-separated subkeys of the MKVB,
+    used to seed the attestation key generator. *)
+let huk_subkey_derive ~mkvb ~label =
+  Watz_crypto.Hmac.sha256 ~key:mkvb ("huk-subkey:" ^ label)

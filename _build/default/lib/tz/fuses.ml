@@ -1,0 +1,39 @@
+(** One-time-programmable eFuses.
+
+    The i.MX 8MQ fuses two values WaTZ depends on: the OTPMK (a 256-bit
+    master key burnt at manufacturing, readable only by the CAAM) and
+    the hash of the vendor's boot public key (the ROM's root of trust
+    for secure boot). Programming is one-shot: reprogramming raises. *)
+
+type t = {
+  mutable otpmk : string option;
+  mutable boot_pubkey_hash : string option;
+}
+
+exception Already_programmed of string
+
+let blank () = { otpmk = None; boot_pubkey_hash = None }
+
+let program_otpmk t key =
+  if String.length key <> 32 then invalid_arg "Fuses.program_otpmk: OTPMK must be 256-bit";
+  match t.otpmk with
+  | Some _ -> raise (Already_programmed "OTPMK")
+  | None -> t.otpmk <- Some key
+
+let program_boot_pubkey_hash t h =
+  if String.length h <> 32 then invalid_arg "Fuses.program_boot_pubkey_hash: need SHA-256";
+  match t.boot_pubkey_hash with
+  | Some _ -> raise (Already_programmed "boot public key hash")
+  | None -> t.boot_pubkey_hash <- Some h
+
+(* Accessors deliberately named to signal their hardware gating: the
+   OTPMK is only readable by the CAAM (see {!Caam}); software never
+   sees it. *)
+
+let otpmk_for_caam t =
+  match t.otpmk with None -> failwith "Fuses: OTPMK not programmed" | Some k -> k
+
+let boot_pubkey_hash t =
+  match t.boot_pubkey_hash with
+  | None -> failwith "Fuses: boot key hash not programmed"
+  | Some h -> h

@@ -1,0 +1,96 @@
+(** In-process simulated TCP/IP.
+
+    The attester and verifier of the paper run on the same board and
+    talk over loopback TCP, the secure side reaching the network only
+    through the normal-world supplicant. This module provides the
+    normal-world network: listeners, connections, ordered byte streams.
+    Everything is single-threaded and non-blocking ([recv] returns what
+    is available), so protocol code is written as explicit state
+    machines driven by a scheduler. *)
+
+type stream = { buf : Buffer.t; mutable read_pos : int }
+
+type conn = {
+  tx : stream; (* what this endpoint wrote *)
+  rx : stream; (* what the peer wrote *)
+  mutable closed : bool;
+}
+
+type t = {
+  listeners : (int, conn Queue.t) Hashtbl.t;
+}
+
+let create () = { listeners = Hashtbl.create 8 }
+
+exception Refused of int
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then invalid_arg "Net.listen: port in use";
+  let q = Queue.create () in
+  Hashtbl.replace t.listeners port q;
+  port
+
+let close_listener t ~port = Hashtbl.remove t.listeners port
+
+(** [connect t ~port] establishes a connection to a listening port and
+    returns the client-side endpoint; the server side is delivered via
+    {!accept}. Raises {!Refused} if nothing listens. *)
+let connect t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> raise (Refused port)
+  | Some q ->
+    let a_to_b = { buf = Buffer.create 256; read_pos = 0 } in
+    let b_to_a = { buf = Buffer.create 256; read_pos = 0 } in
+    let client = { tx = a_to_b; rx = b_to_a; closed = false } in
+    let server = { tx = b_to_a; rx = a_to_b; closed = false } in
+    Queue.push server q;
+    client
+
+(** [accept t ~port] is the next pending server-side endpoint, if a
+    client connected since the last accept. *)
+let accept t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> None
+  | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
+
+let send conn data =
+  if conn.closed then invalid_arg "Net.send: connection closed";
+  Buffer.add_string conn.tx.buf data
+
+let available conn = Buffer.length conn.rx.buf - conn.rx.read_pos
+
+(** [recv conn ~len] reads exactly [len] bytes if available, [None]
+    otherwise (no partial reads — the framing layer asks for exact
+    sizes). *)
+let recv conn ~len =
+  if available conn < len then None
+  else begin
+    let s = Buffer.sub conn.rx.buf conn.rx.read_pos len in
+    conn.rx.read_pos <- conn.rx.read_pos + len;
+    Some s
+  end
+
+let close conn = conn.closed <- true
+
+(* Length-prefixed message framing used by the attestation protocol. *)
+
+let send_frame conn payload =
+  let w = Watz_util.Bytesio.Writer.create () in
+  Watz_util.Bytesio.Writer.u32 w (Int32.of_int (String.length payload));
+  Watz_util.Bytesio.Writer.bytes w payload;
+  send conn (Watz_util.Bytesio.Writer.contents w)
+
+(** [recv_frame conn] is a complete frame, or [None] if one has not
+    fully arrived yet. *)
+let recv_frame conn =
+  if available conn < 4 then None
+  else begin
+    let peek = Buffer.sub conn.rx.buf conn.rx.read_pos 4 in
+    let r = Watz_util.Bytesio.Reader.of_string peek in
+    let len = Int32.to_int (Watz_util.Bytesio.Reader.u32 r) in
+    if available conn < 4 + len then None
+    else begin
+      conn.rx.read_pos <- conn.rx.read_pos + 4;
+      recv conn ~len
+    end
+  end

@@ -1,0 +1,30 @@
+(** The rich-execution-environment client API (TEEC).
+
+    Normal-world programs use these calls to reach trusted
+    applications: open a session, push data through registered shared
+    memory, invoke commands. Every call crosses the secure monitor and
+    is charged accordingly. *)
+
+type context = { soc : Soc.t }
+
+let initialize_context soc = { soc }
+
+(** TEEC_OpenSession: one SMC round trip plus the trusted OS's TA
+    authentication (signature check, heap reservation). *)
+let open_session ctx ta = Soc.smc ctx.soc (fun () -> Optee.open_session (Soc.optee ctx.soc) ta)
+
+let close_session ctx session = Soc.smc ctx.soc (fun () -> Optee.close_session session)
+
+(** TEEC_InvokeCommand with an opaque string parameter (the marshalled
+    GP parameter set). *)
+let invoke_command ctx session ~cmd param =
+  Soc.smc ctx.soc (fun () -> Optee.invoke_session session ~cmd param)
+
+(** TEEC_AllocateSharedMemory: bounded by the 9 MB pool. *)
+let allocate_shared_memory ctx n = Optee.shm_alloc (Soc.optee ctx.soc) n
+
+let release_shared_memory ctx shm = Optee.shm_free (Soc.optee ctx.soc) shm
+
+(** Write into a shared buffer from the normal world (no world switch:
+    the buffer is mapped on both sides). *)
+let write_shared ctx shm ~off data = Optee.shm_write_normal (Soc.optee ctx.soc) shm ~off data

@@ -1,0 +1,1 @@
+lib/util/hex.ml: Buffer Char Format List Seq String

@@ -1,0 +1,1 @@
+lib/util/prng.ml: Char Float Int64 String

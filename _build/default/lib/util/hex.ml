@@ -1,0 +1,45 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter
+    (fun c ->
+      let n = Char.code c in
+      Buffer.add_char b (hex_digit (n lsr 4));
+      Buffer.add_char b (hex_digit (n land 0xf)))
+    s;
+  Buffer.contents b
+
+let value_of_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: not a hex digit"
+
+let decode h =
+  let digits =
+    String.to_seq h |> Seq.filter (fun c -> c <> ' ' && c <> '\n') |> List.of_seq
+  in
+  let rec pair acc = function
+    | [] -> List.rev acc
+    | [ _ ] -> invalid_arg "Hex.decode: odd number of digits"
+    | hi :: lo :: rest ->
+      pair (Char.chr ((value_of_digit hi lsl 4) lor value_of_digit lo) :: acc) rest
+  in
+  pair [] digits |> List.to_seq |> String.of_seq
+
+let dump ppf s =
+  let n = String.length s in
+  let rec row i =
+    if i < n then begin
+      let stop = min n (i + 16) in
+      Format.fprintf ppf "%04x:" i;
+      for j = i to stop - 1 do
+        Format.fprintf ppf " %02x" (Char.code s.[j])
+      done;
+      Format.pp_print_newline ppf ();
+      row stop
+    end
+  in
+  row 0

@@ -1,0 +1,12 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s]. *)
+
+val decode : string -> string
+(** [decode h] parses a hexadecimal string (case-insensitive, optional
+    whitespace between bytes). Raises [Invalid_argument] on malformed
+    input. *)
+
+val dump : Format.formatter -> string -> unit
+(** [dump ppf s] pretty-prints [s] as rows of 16 hex bytes. *)

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (xoshiro256 starstar) used for
+    reproducible workload generation and simulated entropy sources.
+
+    This generator is {e not} cryptographic; the attestation stack uses
+    {!Watz_crypto.Fortuna} instead. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] seeds a generator deterministically via splitmix64. *)
+
+val copy : t -> t
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+val bytes : t -> int -> string
+(** [bytes t n] is [n] pseudo-random bytes. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)

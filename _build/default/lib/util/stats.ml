@@ -1,0 +1,40 @@
+type summary = { median : float; mean : float; stddev : float; min : float; max : float }
+
+let median samples =
+  if Array.length samples = 0 then invalid_arg "Stats.median";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n mod 2 = 1 then sorted.(n / 2)
+  else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+
+let summarize samples =
+  if Array.length samples = 0 then invalid_arg "Stats.summarize";
+  let n = float_of_int (Array.length samples) in
+  let mean = Array.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 samples /. n
+  in
+  let min = Array.fold_left Float.min samples.(0) samples in
+  let max = Array.fold_left Float.max samples.(0) samples in
+  { median = median samples; mean; stddev = sqrt var; min; max }
+
+let pp_ns ppf ns =
+  if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else Format.fprintf ppf "%.3f s" (ns /. 1e9)
+
+let time_ns f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  let stop = Unix.gettimeofday () in
+  ((stop -. start) *. 1e9, result)
+
+let measure ?(runs = 10) f =
+  let samples =
+    Array.init runs (fun _ ->
+        let ns, () = time_ns f in
+        ns)
+  in
+  summarize samples

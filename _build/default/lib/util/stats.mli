@@ -1,0 +1,19 @@
+(** Summary statistics for benchmark reporting (the paper reports medians
+    and standard deviations of repeated runs). *)
+
+type summary = { median : float; mean : float; stddev : float; min : float; max : float }
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+val pp_ns : Format.formatter -> float -> unit
+(** Pretty-print a duration in nanoseconds with an adaptive unit. *)
+
+val time_ns : (unit -> 'a) -> float * 'a
+(** [time_ns f] is the wall-clock duration of [f ()] in nanoseconds and
+    its result. *)
+
+val measure : ?runs:int -> (unit -> unit) -> summary
+(** [measure ~runs f] times [runs] executions of [f] and summarizes the
+    per-run durations in nanoseconds. Default 10 runs. *)

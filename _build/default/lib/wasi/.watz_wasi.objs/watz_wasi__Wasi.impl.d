@@ -1,0 +1,1 @@
+lib/wasi/wasi.ml: Array Int32 List String Watz_wasm

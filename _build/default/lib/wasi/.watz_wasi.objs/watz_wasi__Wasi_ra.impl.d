@@ -1,0 +1,1 @@
+lib/wasi/wasi_ra.ml: Hashtbl Int32 List String Wasi Watz_attest Watz_crypto Watz_tz Watz_wasm Watz_wasmc

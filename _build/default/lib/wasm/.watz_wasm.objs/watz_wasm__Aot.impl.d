@@ -1,0 +1,1 @@
+lib/wasm/aot.ml: Array Ast Bytes Float Hashtbl Instance Int32 Int64 List Memory Numerics String Types Validate

@@ -1,0 +1,1 @@
+lib/wasm/builder.ml: Ast Int32 Int64 List Types

@@ -1,0 +1,1 @@
+lib/wasm/decode.ml: Ast Format Int32 Int64 List String Types Watz_util

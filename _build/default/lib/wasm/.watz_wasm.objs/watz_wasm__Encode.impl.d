@@ -1,0 +1,1 @@
+lib/wasm/encode.ml: Ast Int32 Int64 List String Types Watz_util

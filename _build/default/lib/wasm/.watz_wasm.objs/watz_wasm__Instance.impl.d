@@ -1,0 +1,1 @@
+lib/wasm/instance.ml: Array Ast Bytes Format Hashtbl Int32 List Numerics String Types

@@ -1,0 +1,1 @@
+lib/wasm/interp.ml: Array Ast Float I32_ops I64_ops Instance Int32 Int64 List Memory Numerics Types

@@ -1,0 +1,1 @@
+lib/wasm/numerics.ml: Float Int32 Int64

@@ -1,0 +1,1226 @@
+(** Ahead-of-time compilation of validated Wasm modules.
+
+    This tier plays the role of WAMR's LLVM AOT mode in the paper: the
+    bytecode is translated {e once}, before execution, into closures
+    over typed register arrays — i32 values live in a native [int]
+    array, floats in a flat [float array] — so the hot path runs with
+    no decode/dispatch, no operand-stack allocation and no boxing of
+    i32/f64 values. Static stack heights (known from validation) become
+    register indices; branches become precomputed register moves plus a
+    preallocated exception.
+
+    Modules must be validated ({!Validate.validate}) before
+    {!compile}: the compiler trusts the types. *)
+
+open Types
+open Ast
+open Instance
+
+(* Preallocated control-flow exceptions: raising them does not
+   allocate, which matters on loop back-edges. *)
+exception Br_exn of int
+exception Ret_exn
+
+let br_exn_cache = Array.init 64 (fun i -> Br_exn i)
+let br_exn d = if d < 64 then br_exn_cache.(d) else Br_exn d
+
+(* Native-int arithmetic on 32-bit values stored sign-extended. *)
+let wrap32 x = (x lsl 31) asr 31
+let u32 x = x land 0xffffffff
+
+(* ------------------------------------------------------------------ *)
+(* Runtime representation *)
+
+type cglobal = { cgty : globaltype; mutable cgvalue : value }
+
+type cfuncinst =
+  | CWasm of cfunc
+  | CHost of { chtype : functype; chname : string; impl : value array -> value list }
+
+and cfunc = {
+  cftype : functype;
+  (* Frame sizes are patched once compilation of the body fixes the
+     maximal static stack height. *)
+  mutable n_iloc : int;
+  mutable n_lloc : int;
+  mutable n_floc : int;
+  mutable n_ireg : int;
+  mutable n_lreg : int;
+  mutable n_freg : int;
+  mutable body : rt -> unit;
+  local_types : valtype array; (* params @ locals *)
+}
+
+and rinstance = {
+  cfuncs : cfuncinst array;
+  rmemories : Memory.t array;
+  rtables : cfuncinst option array array;
+  rglobals : cglobal array;
+  rtypes : functype array;
+  mutable rexports : (string * rextern) list;
+}
+
+and rextern =
+  | RFunc of cfuncinst
+  | RMemory of Memory.t
+  | RGlobal of cglobal
+  | RTable of cfuncinst option array
+
+(* A call frame: typed register files for stack slots and locals. *)
+and rt = {
+  ri : int array; (* i32 stack slots, sign-extended native ints *)
+  rl : int64 array;
+  rf : float array; (* f32/f64 stack slots *)
+  li : int array;
+  ll : int64 array;
+  lf : float array;
+  ri_inst : rinstance;
+}
+
+let empty_int : int array = [||]
+let empty_i64 : int64 array = [||]
+let empty_float : float array = [||]
+
+let make_rt inst (f : cfunc) =
+  {
+    ri = (if f.n_ireg = 0 then empty_int else Array.make f.n_ireg 0);
+    rl = (if f.n_lreg = 0 then empty_i64 else Array.make f.n_lreg 0L);
+    rf = (if f.n_freg = 0 then empty_float else Array.make f.n_freg 0.0);
+    li = (if f.n_iloc = 0 then empty_int else Array.make f.n_iloc 0);
+    ll = (if f.n_lloc = 0 then empty_i64 else Array.make f.n_lloc 0L);
+    lf = (if f.n_floc = 0 then empty_float else Array.make f.n_floc 0.0);
+    ri_inst = inst;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time context *)
+
+type cframe = {
+  entry_height : int;
+  label_types : valtype list; (* what a branch to this label carries *)
+  end_types : valtype list;
+}
+
+type cctx = {
+  types : functype array;
+  func_types : functype array;
+  globals_t : globaltype array;
+  locals : valtype array;
+  results : valtype list;
+  mutable stack : valtype list; (* compile-time type stack, top first *)
+  mutable height : int;
+  mutable max_height : int;
+  mutable frames : cframe list; (* innermost first *)
+}
+
+let push_t ctx t =
+  ctx.stack <- t :: ctx.stack;
+  ctx.height <- ctx.height + 1;
+  if ctx.height > ctx.max_height then ctx.max_height <- ctx.height
+
+let pop_t ctx =
+  match ctx.stack with
+  | [] -> invalid_arg "Aot: compile-time stack underflow (module not validated?)"
+  | t :: rest ->
+    ctx.stack <- rest;
+    ctx.height <- ctx.height - 1;
+    t
+
+let pop_n ctx n = List.init n (fun _ -> pop_t ctx) |> List.rev
+
+(* A compiled opcode. *)
+type code = rt -> unit
+
+exception Dead_code of code
+(* Raised during compilation when an instruction cannot fall through
+   (br, return, unreachable, br_table): the remainder of the sequence
+   is dead and must not be compiled. *)
+
+let nothing : code = fun _ -> ()
+
+let seq (a : code) (b : code) : code =
+  if a == nothing then b else if b == nothing then a else fun r -> a r; b r
+
+(* Straight-line sequences dispatch through a flat array rather than a
+   nest of [seq] closures: one bounds-checked load per op. *)
+let seq_all (ops : code list) : code =
+  let ops = Array.of_list (List.filter (fun c -> c != nothing) ops) in
+  match Array.length ops with
+  | 0 -> nothing
+  | 1 -> ops.(0)
+  | 2 ->
+    let a = ops.(0) and b = ops.(1) in
+    fun r -> a r; b r
+  | 3 ->
+    let a = ops.(0) and b = ops.(1) and c = ops.(2) in
+    fun r -> a r; b r; c r
+  | n ->
+    fun r ->
+      for k = 0 to n - 1 do
+        (Array.unsafe_get ops k) r
+      done
+
+(* Register moves used when branching: copy the [types] values sitting
+   at [src] (their base height) down to [dst]. *)
+let emit_moves types ~src ~dst : code =
+  if src = dst || types = [] then nothing
+  else
+    seq_all
+      (List.mapi
+         (fun k t ->
+           let s = src + k and d = dst + k in
+           match t with
+           | I32 -> fun r -> r.ri.(d) <- r.ri.(s)
+           | I64 -> fun r -> r.rl.(d) <- r.rl.(s)
+           | F32 | F64 -> fun r -> r.rf.(d) <- r.rf.(s))
+         types)
+
+(* Boxing boundaries (calls to host functions, invoke API). *)
+let read_slot r t h =
+  match t with
+  | I32 -> VI32 (Int32.of_int r.ri.(h))
+  | I64 -> VI64 r.rl.(h)
+  | F32 -> VF32 r.rf.(h)
+  | F64 -> VF64 r.rf.(h)
+
+let write_slot r t h v =
+  match (t, v) with
+  | I32, VI32 x -> r.ri.(h) <- Int32.to_int x
+  | I64, VI64 x -> r.rl.(h) <- x
+  | F32, VF32 x -> r.rf.(h) <- x
+  | F64, VF64 x -> r.rf.(h) <- x
+  | (I32 | I64 | F32 | F64), _ -> raise (Trap "host function returned wrong type")
+
+let value_of_global g = g.cgvalue
+
+(* ------------------------------------------------------------------ *)
+(* Memory helpers *)
+
+let mem0 r = r.ri_inst.rmemories.(0)
+
+let check_addr data addr width =
+  if addr < 0 || addr + width > Bytes.length data then raise (Trap "out of bounds memory access")
+
+(* ------------------------------------------------------------------ *)
+(* Instruction compilation *)
+
+let rec compile_instr (ctx : cctx) (get_cfunc : int -> cfuncinst) (i : instr) : code option =
+  (* Returns [None] when the instruction diverts control
+     unconditionally, in which case the rest of the sequence is dead. *)
+  let h () = ctx.height in
+  match i with
+  | Nop -> Some nothing
+  | Unreachable -> unconditional ctx (fun _ -> raise (Trap "unreachable executed"))
+  | Drop ->
+    ignore (pop_t ctx);
+    Some nothing
+  | Select ->
+    ignore (pop_t ctx);
+    let t = pop_t ctx in
+    ignore (pop_t ctx);
+    push_t ctx t;
+    let d = h () - 1 in
+    (* v1 at d (the result slot), v2 at d+1, condition at d+2. *)
+    Some
+      (match t with
+      | I32 -> fun r -> if r.ri.(d + 2) = 0 then r.ri.(d) <- r.ri.(d + 1)
+      | I64 -> fun r -> if r.ri.(d + 2) = 0 then r.rl.(d) <- r.rl.(d + 1)
+      | F32 | F64 -> fun r -> if r.ri.(d + 2) = 0 then r.rf.(d) <- r.rf.(d + 1))
+  | Const v ->
+    push_t ctx (type_of_value v);
+    let d = h () - 1 in
+    Some
+      (match v with
+      | VI32 x ->
+        let n = Int32.to_int x in
+        fun r -> r.ri.(d) <- n
+      | VI64 x -> fun r -> r.rl.(d) <- x
+      | VF32 x | VF64 x -> fun r -> r.rf.(d) <- x)
+  | LocalGet i ->
+    let t = ctx.locals.(i) in
+    push_t ctx t;
+    let d = h () - 1 in
+    Some
+      (match t with
+      | I32 -> fun r -> r.ri.(d) <- r.li.(i)
+      | I64 -> fun r -> r.rl.(d) <- r.ll.(i)
+      | F32 | F64 -> fun r -> r.rf.(d) <- r.lf.(i))
+  | LocalSet i ->
+    let t = pop_t ctx in
+    let s = h () in
+    Some
+      (match t with
+      | I32 -> fun r -> r.li.(i) <- r.ri.(s)
+      | I64 -> fun r -> r.ll.(i) <- r.rl.(s)
+      | F32 | F64 -> fun r -> r.lf.(i) <- r.rf.(s))
+  | LocalTee i ->
+    let t = List.hd ctx.stack in
+    let s = h () - 1 in
+    Some
+      (match t with
+      | I32 -> fun r -> r.li.(i) <- r.ri.(s)
+      | I64 -> fun r -> r.ll.(i) <- r.rl.(s)
+      | F32 | F64 -> fun r -> r.lf.(i) <- r.rf.(s))
+  | GlobalGet i -> Some (compile_global_get ctx i)
+  | GlobalSet i -> Some (compile_global_set ctx i)
+  | ITestop ty ->
+    ignore (pop_t ctx);
+    push_t ctx I32;
+    let s = h () - 1 in
+    Some
+      (match ty with
+      | I32 -> fun r -> r.ri.(s) <- (if r.ri.(s) = 0 then 1 else 0)
+      | I64 -> fun r -> r.ri.(s) <- (if Int64.equal r.rl.(s) 0L then 1 else 0)
+      | F32 | F64 -> assert false)
+  | IUnop (ty, op) ->
+    ignore (pop_t ctx);
+    push_t ctx ty;
+    let s = h () - 1 in
+    Some
+      (match ty with
+      | I32 ->
+        (match op with
+        | Clz -> fun r -> r.ri.(s) <- Int32.to_int (Numerics.I32_ops.clz (Int32.of_int r.ri.(s)))
+        | Ctz -> fun r -> r.ri.(s) <- Int32.to_int (Numerics.I32_ops.ctz (Int32.of_int r.ri.(s)))
+        | Popcnt ->
+          fun r -> r.ri.(s) <- Int32.to_int (Numerics.I32_ops.popcnt (Int32.of_int r.ri.(s))))
+      | I64 ->
+        (match op with
+        | Clz -> fun r -> r.rl.(s) <- Numerics.I64_ops.clz r.rl.(s)
+        | Ctz -> fun r -> r.rl.(s) <- Numerics.I64_ops.ctz r.rl.(s)
+        | Popcnt -> fun r -> r.rl.(s) <- Numerics.I64_ops.popcnt r.rl.(s))
+      | F32 | F64 -> assert false)
+  | IBinop (ty, op) ->
+    ignore (pop_t ctx);
+    ignore (pop_t ctx);
+    push_t ctx ty;
+    let d = h () - 1 in
+    (* operands at d (lhs) and d+1 (rhs) *)
+    Some (compile_ibinop ty op d)
+  | IRelop (ty, op) ->
+    ignore (pop_t ctx);
+    ignore (pop_t ctx);
+    push_t ctx I32;
+    let d = h () - 1 in
+    Some (compile_irelop ty op d)
+  | FUnop (ty, op) ->
+    ignore (pop_t ctx);
+    push_t ctx ty;
+    let s = h () - 1 in
+    let f =
+      match op with
+      | Abs -> Float.abs
+      | Neg -> fun x -> -.x
+      | Ceil -> Float.ceil
+      | Floor -> Float.floor
+      | Trunc -> Float.trunc
+      | Nearest -> Numerics.f_nearest
+      | Sqrt -> Float.sqrt
+    in
+    Some
+      (match ty with
+      | F32 -> fun r -> r.rf.(s) <- Numerics.to_f32 (f r.rf.(s))
+      | F64 -> fun r -> r.rf.(s) <- f r.rf.(s)
+      | I32 | I64 -> assert false)
+  | FBinop (ty, op) ->
+    ignore (pop_t ctx);
+    ignore (pop_t ctx);
+    push_t ctx ty;
+    let d = h () - 1 in
+    Some (compile_fbinop ty op d)
+  | FRelop (ty, op) ->
+    ignore (pop_t ctx);
+    ignore (pop_t ctx);
+    push_t ctx I32;
+    let d = h () - 1 in
+    ignore ty;
+    let cmp : float -> float -> bool =
+      match op with
+      | Feq -> ( = )
+      | Fne -> ( <> )
+      | Flt -> ( < )
+      | Fgt -> ( > )
+      | Fle -> ( <= )
+      | Fge -> ( >= )
+    in
+    Some (fun r -> r.ri.(d) <- (if cmp r.rf.(d) r.rf.(d + 1) then 1 else 0))
+  | Cvtop op ->
+    ignore (pop_t ctx);
+    let _, dst = Validate.cvt_types op in
+    push_t ctx dst;
+    let s = h () - 1 in
+    Some (compile_cvtop op s)
+  | Load (ty, pack, m) ->
+    ignore (pop_t ctx);
+    push_t ctx ty;
+    let s = h () - 1 in
+    let off = m.offset in
+    Some (compile_load ty pack off s)
+  | Store (ty, pack, m) ->
+    ignore (pop_t ctx);
+    ignore (pop_t ctx);
+    let s = h () in
+    (* addr at s, value at s+1 *)
+    let off = m.offset in
+    Some (compile_store ty pack off s)
+  | MemorySize ->
+    push_t ctx I32;
+    let d = h () - 1 in
+    Some (fun r -> r.ri.(d) <- Memory.size_pages (mem0 r))
+  | MemoryGrow ->
+    ignore (pop_t ctx);
+    push_t ctx I32;
+    let d = h () - 1 in
+    Some (fun r -> r.ri.(d) <- Memory.grow (mem0 r) r.ri.(d))
+  | Call f ->
+    let ft = ctx.func_types.(f) in
+    let n = List.length ft.params in
+    let args_base = h () - n in
+    ignore (pop_n ctx n);
+    List.iter (push_t ctx) ft.results;
+    Some (emit_call (get_cfunc f) ft ~args_base)
+  | CallIndirect tidx ->
+    let ft = ctx.types.(tidx) in
+    ignore (pop_t ctx);
+    let idx_slot = h () in
+    let n = List.length ft.params in
+    let args_base = h () - n in
+    ignore (pop_n ctx n);
+    List.iter (push_t ctx) ft.results;
+    Some
+      (fun r ->
+        let table = r.ri_inst.rtables.(0) in
+        let i = u32 r.ri.(idx_slot) in
+        if i >= Array.length table then raise (Trap "undefined element");
+        match table.(i) with
+        | None -> raise (Trap "uninitialized element")
+        | Some callee ->
+          let actual =
+            match callee with CWasm f -> f.cftype | CHost hf -> hf.chtype
+          in
+          if not (functype_equal actual ft) then raise (Trap "indirect call type mismatch");
+          emit_call callee ft ~args_base r)
+  | Block (bt, body) -> Some (compile_block ctx get_cfunc bt body)
+  | Loop (bt, body) -> Some (compile_loop ctx get_cfunc bt body)
+  | If (bt, then_, else_) -> Some (compile_if ctx get_cfunc bt then_ else_)
+  | Br n ->
+    let move, raise_code = branch_code ctx n in
+    unconditional ctx (fun r -> move r; raise raise_code)
+  | BrIf n ->
+    ignore (pop_t ctx);
+    let cond_slot = h () in
+    let move, raise_code = branch_code ctx n in
+    Some (fun r -> if r.ri.(cond_slot) <> 0 then begin move r; raise raise_code end)
+  | BrTable (targets, default) ->
+    ignore (pop_t ctx);
+    let cond_slot = h () in
+    let compiled =
+      Array.of_list
+        (List.map
+           (fun tgt ->
+             let move, exn = branch_code ctx tgt in
+             (move, exn))
+           targets)
+    in
+    let dmove, dexn = branch_code ctx default in
+    unconditional ctx (fun r ->
+        let idx = u32 r.ri.(cond_slot) in
+        let move, exn = if idx < Array.length compiled then compiled.(idx) else (dmove, dexn) in
+        move r;
+        raise exn)
+  | Return ->
+    let arity = List.length ctx.results in
+    let move = emit_moves ctx.results ~src:(h () - arity) ~dst:0 in
+    unconditional ctx (fun r -> move r; raise Ret_exn)
+
+and unconditional _ctx (c : code) : code option =
+  (* The instruction never falls through; the caller must stop
+     compiling the remainder of the sequence (it is dead code). *)
+  raise (Dead_code c)
+
+and compile_global_get ctx i : code =
+  let t = ctx.globals_t.(i).content in
+  push_t ctx t;
+  let d = ctx.height - 1 in
+  (match t with
+  | I32 ->
+    fun r ->
+      (match r.ri_inst.rglobals.(i).cgvalue with
+      | VI32 x -> r.ri.(d) <- Int32.to_int x
+      | VI64 _ | VF32 _ | VF64 _ -> raise (Trap "global type confusion"))
+  | I64 ->
+    fun r ->
+      (match r.ri_inst.rglobals.(i).cgvalue with
+      | VI64 x -> r.rl.(d) <- x
+      | VI32 _ | VF32 _ | VF64 _ -> raise (Trap "global type confusion"))
+  | F32 | F64 ->
+    fun r ->
+      (match r.ri_inst.rglobals.(i).cgvalue with
+      | VF32 x | VF64 x -> r.rf.(d) <- x
+      | VI32 _ | VI64 _ -> raise (Trap "global type confusion")))
+
+and compile_global_set ctx i : code =
+  let t = pop_t ctx in
+  let s = ctx.height in
+  match t with
+  | I32 -> fun r -> r.ri_inst.rglobals.(i).cgvalue <- VI32 (Int32.of_int r.ri.(s))
+  | I64 -> fun r -> r.ri_inst.rglobals.(i).cgvalue <- VI64 r.rl.(s)
+  | F32 -> fun r -> r.ri_inst.rglobals.(i).cgvalue <- VF32 r.rf.(s)
+  | F64 -> fun r -> r.ri_inst.rglobals.(i).cgvalue <- VF64 r.rf.(s)
+
+and compile_ibinop ty op d : code =
+  match ty with
+  | I32 ->
+    (match op with
+    | Add -> fun r -> r.ri.(d) <- wrap32 (r.ri.(d) + r.ri.(d + 1))
+    | Sub -> fun r -> r.ri.(d) <- wrap32 (r.ri.(d) - r.ri.(d + 1))
+    | Mul -> fun r -> r.ri.(d) <- wrap32 (r.ri.(d) * r.ri.(d + 1))
+    | DivS ->
+      fun r ->
+        let a = r.ri.(d) and b = r.ri.(d + 1) in
+        if b = 0 then raise (Trap "integer divide by zero")
+        else if a = -0x80000000 && b = -1 then raise (Trap "integer overflow")
+        else r.ri.(d) <- a / b
+    | DivU ->
+      fun r ->
+        let b = u32 r.ri.(d + 1) in
+        if b = 0 then raise (Trap "integer divide by zero")
+        else r.ri.(d) <- wrap32 (u32 r.ri.(d) / b)
+    | RemS ->
+      fun r ->
+        let a = r.ri.(d) and b = r.ri.(d + 1) in
+        if b = 0 then raise (Trap "integer divide by zero")
+        else if a = -0x80000000 && b = -1 then r.ri.(d) <- 0
+        else r.ri.(d) <- a mod b
+    | RemU ->
+      fun r ->
+        let b = u32 r.ri.(d + 1) in
+        if b = 0 then raise (Trap "integer divide by zero")
+        else r.ri.(d) <- wrap32 (u32 r.ri.(d) mod b)
+    | And -> fun r -> r.ri.(d) <- r.ri.(d) land r.ri.(d + 1)
+    | Or -> fun r -> r.ri.(d) <- r.ri.(d) lor r.ri.(d + 1)
+    | Xor -> fun r -> r.ri.(d) <- r.ri.(d) lxor r.ri.(d + 1)
+    | Shl -> fun r -> r.ri.(d) <- wrap32 (r.ri.(d) lsl (r.ri.(d + 1) land 31))
+    | ShrS -> fun r -> r.ri.(d) <- r.ri.(d) asr (r.ri.(d + 1) land 31)
+    | ShrU -> fun r -> r.ri.(d) <- wrap32 (u32 r.ri.(d) lsr (r.ri.(d + 1) land 31))
+    | Rotl ->
+      fun r ->
+        let n = r.ri.(d + 1) land 31 in
+        let x = u32 r.ri.(d) in
+        r.ri.(d) <- (if n = 0 then wrap32 x else wrap32 ((x lsl n) lor (x lsr (32 - n))))
+    | Rotr ->
+      fun r ->
+        let n = r.ri.(d + 1) land 31 in
+        let x = u32 r.ri.(d) in
+        r.ri.(d) <- (if n = 0 then wrap32 x else wrap32 ((x lsr n) lor (x lsl (32 - n)))))
+  | I64 ->
+    let open Numerics.I64_ops in
+    (match op with
+    | Add -> fun r -> r.rl.(d) <- Int64.add r.rl.(d) r.rl.(d + 1)
+    | Sub -> fun r -> r.rl.(d) <- Int64.sub r.rl.(d) r.rl.(d + 1)
+    | Mul -> fun r -> r.rl.(d) <- Int64.mul r.rl.(d) r.rl.(d + 1)
+    | DivS -> fun r -> r.rl.(d) <- div_s r.rl.(d) r.rl.(d + 1)
+    | DivU -> fun r -> r.rl.(d) <- div_u r.rl.(d) r.rl.(d + 1)
+    | RemS -> fun r -> r.rl.(d) <- rem_s r.rl.(d) r.rl.(d + 1)
+    | RemU -> fun r -> r.rl.(d) <- rem_u r.rl.(d) r.rl.(d + 1)
+    | And -> fun r -> r.rl.(d) <- Int64.logand r.rl.(d) r.rl.(d + 1)
+    | Or -> fun r -> r.rl.(d) <- Int64.logor r.rl.(d) r.rl.(d + 1)
+    | Xor -> fun r -> r.rl.(d) <- Int64.logxor r.rl.(d) r.rl.(d + 1)
+    | Shl -> fun r -> r.rl.(d) <- shl r.rl.(d) r.rl.(d + 1)
+    | ShrS -> fun r -> r.rl.(d) <- shr_s r.rl.(d) r.rl.(d + 1)
+    | ShrU -> fun r -> r.rl.(d) <- shr_u r.rl.(d) r.rl.(d + 1)
+    | Rotl -> fun r -> r.rl.(d) <- rotl r.rl.(d) r.rl.(d + 1)
+    | Rotr -> fun r -> r.rl.(d) <- rotr r.rl.(d) r.rl.(d + 1))
+  | F32 | F64 -> assert false
+
+and compile_irelop ty op d : code =
+  match ty with
+  | I32 ->
+    (match op with
+    | Eq -> fun r -> r.ri.(d) <- (if r.ri.(d) = r.ri.(d + 1) then 1 else 0)
+    | Ne -> fun r -> r.ri.(d) <- (if r.ri.(d) <> r.ri.(d + 1) then 1 else 0)
+    | LtS -> fun r -> r.ri.(d) <- (if r.ri.(d) < r.ri.(d + 1) then 1 else 0)
+    | LtU -> fun r -> r.ri.(d) <- (if u32 r.ri.(d) < u32 r.ri.(d + 1) then 1 else 0)
+    | GtS -> fun r -> r.ri.(d) <- (if r.ri.(d) > r.ri.(d + 1) then 1 else 0)
+    | GtU -> fun r -> r.ri.(d) <- (if u32 r.ri.(d) > u32 r.ri.(d + 1) then 1 else 0)
+    | LeS -> fun r -> r.ri.(d) <- (if r.ri.(d) <= r.ri.(d + 1) then 1 else 0)
+    | LeU -> fun r -> r.ri.(d) <- (if u32 r.ri.(d) <= u32 r.ri.(d + 1) then 1 else 0)
+    | GeS -> fun r -> r.ri.(d) <- (if r.ri.(d) >= r.ri.(d + 1) then 1 else 0)
+    | GeU -> fun r -> r.ri.(d) <- (if u32 r.ri.(d) >= u32 r.ri.(d + 1) then 1 else 0))
+  | I64 ->
+    let open Numerics.I64_ops in
+    (match op with
+    | Eq -> fun r -> r.ri.(d) <- (if Int64.equal r.rl.(d) r.rl.(d + 1) then 1 else 0)
+    | Ne -> fun r -> r.ri.(d) <- (if Int64.equal r.rl.(d) r.rl.(d + 1) then 0 else 1)
+    | LtS -> fun r -> r.ri.(d) <- (if Int64.compare r.rl.(d) r.rl.(d + 1) < 0 then 1 else 0)
+    | LtU -> fun r -> r.ri.(d) <- (if lt_u r.rl.(d) r.rl.(d + 1) then 1 else 0)
+    | GtS -> fun r -> r.ri.(d) <- (if Int64.compare r.rl.(d) r.rl.(d + 1) > 0 then 1 else 0)
+    | GtU -> fun r -> r.ri.(d) <- (if gt_u r.rl.(d) r.rl.(d + 1) then 1 else 0)
+    | LeS -> fun r -> r.ri.(d) <- (if Int64.compare r.rl.(d) r.rl.(d + 1) <= 0 then 1 else 0)
+    | LeU -> fun r -> r.ri.(d) <- (if le_u r.rl.(d) r.rl.(d + 1) then 1 else 0)
+    | GeS -> fun r -> r.ri.(d) <- (if Int64.compare r.rl.(d) r.rl.(d + 1) >= 0 then 1 else 0)
+    | GeU -> fun r -> r.ri.(d) <- (if ge_u r.rl.(d) r.rl.(d + 1) then 1 else 0))
+  | F32 | F64 -> assert false
+
+and compile_fbinop ty op d : code =
+  let f32res = match ty with F32 -> true | F64 -> false | I32 | I64 -> assert false in
+  let apply : float -> float -> float =
+    match op with
+    | Fadd -> ( +. )
+    | Fsub -> ( -. )
+    | Fmul -> ( *. )
+    | Fdiv -> ( /. )
+    | Fmin -> Numerics.f_min
+    | Fmax -> Numerics.f_max
+    | Copysign -> Float.copy_sign
+  in
+  if f32res then fun r -> r.rf.(d) <- Numerics.to_f32 (apply r.rf.(d) r.rf.(d + 1))
+  else
+    match op with
+    | Fadd -> fun r -> r.rf.(d) <- r.rf.(d) +. r.rf.(d + 1)
+    | Fsub -> fun r -> r.rf.(d) <- r.rf.(d) -. r.rf.(d + 1)
+    | Fmul -> fun r -> r.rf.(d) <- r.rf.(d) *. r.rf.(d + 1)
+    | Fdiv -> fun r -> r.rf.(d) <- r.rf.(d) /. r.rf.(d + 1)
+    | Fmin | Fmax | Copysign -> fun r -> r.rf.(d) <- apply r.rf.(d) r.rf.(d + 1)
+
+and compile_cvtop op s : code =
+  let open Numerics in
+  match op with
+  | I32WrapI64 -> fun r -> r.ri.(s) <- wrap32 (Int64.to_int r.rl.(s))
+  | I32TruncF32S | I32TruncF64S -> fun r -> r.ri.(s) <- Int32.to_int (trunc_to_i32_s r.rf.(s))
+  | I32TruncF32U | I32TruncF64U -> fun r -> r.ri.(s) <- Int32.to_int (trunc_to_i32_u r.rf.(s))
+  | I64ExtendI32S -> fun r -> r.rl.(s) <- Int64.of_int r.ri.(s)
+  | I64ExtendI32U -> fun r -> r.rl.(s) <- Int64.of_int (u32 r.ri.(s))
+  | I64TruncF32S | I64TruncF64S -> fun r -> r.rl.(s) <- trunc_to_i64_s r.rf.(s)
+  | I64TruncF32U | I64TruncF64U -> fun r -> r.rl.(s) <- trunc_to_i64_u r.rf.(s)
+  | F32ConvertI32S -> fun r -> r.rf.(s) <- to_f32 (float_of_int r.ri.(s))
+  | F32ConvertI32U -> fun r -> r.rf.(s) <- to_f32 (float_of_int (u32 r.ri.(s)))
+  | F32ConvertI64S -> fun r -> r.rf.(s) <- to_f32 (Int64.to_float r.rl.(s))
+  | F32ConvertI64U -> fun r -> r.rf.(s) <- to_f32 (u64_to_float r.rl.(s))
+  | F32DemoteF64 -> fun r -> r.rf.(s) <- to_f32 r.rf.(s)
+  | F64ConvertI32S -> fun r -> r.rf.(s) <- float_of_int r.ri.(s)
+  | F64ConvertI32U -> fun r -> r.rf.(s) <- float_of_int (u32 r.ri.(s))
+  | F64ConvertI64S -> fun r -> r.rf.(s) <- Int64.to_float r.rl.(s)
+  | F64ConvertI64U -> fun r -> r.rf.(s) <- u64_to_float r.rl.(s)
+  | F64PromoteF32 -> fun r -> r.rf.(s) <- r.rf.(s)
+  | I32ReinterpretF32 -> fun r -> r.ri.(s) <- Int32.to_int (Int32.bits_of_float r.rf.(s))
+  | I64ReinterpretF64 -> fun r -> r.rl.(s) <- Int64.bits_of_float r.rf.(s)
+  | F32ReinterpretI32 -> fun r -> r.rf.(s) <- Int32.float_of_bits (Int32.of_int r.ri.(s))
+  | F64ReinterpretI64 -> fun r -> r.rf.(s) <- Int64.float_of_bits r.rl.(s)
+
+and compile_load ty pack off s : code =
+  match (ty, pack) with
+  | I32, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      r.ri.(s) <- Int32.to_int (Bytes.get_int32_le m.Memory.data a)
+  | I64, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 8;
+      r.rl.(s) <- Bytes.get_int64_le m.Memory.data a
+  | F32, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      r.rf.(s) <- Int32.float_of_bits (Bytes.get_int32_le m.Memory.data a)
+  | F64, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 8;
+      r.rf.(s) <- Int64.float_of_bits (Bytes.get_int64_le m.Memory.data a)
+  | I32, Some (P8, SX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 1;
+      r.ri.(s) <- Bytes.get_int8 m.Memory.data a
+  | I32, Some (P8, ZX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 1;
+      r.ri.(s) <- Bytes.get_uint8 m.Memory.data a
+  | I32, Some (P16, SX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 2;
+      r.ri.(s) <- Bytes.get_int16_le m.Memory.data a
+  | I32, Some (P16, ZX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 2;
+      r.ri.(s) <- Bytes.get_uint16_le m.Memory.data a
+  | I64, Some (P8, SX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 1;
+      r.rl.(s) <- Int64.of_int (Bytes.get_int8 m.Memory.data a)
+  | I64, Some (P8, ZX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 1;
+      r.rl.(s) <- Int64.of_int (Bytes.get_uint8 m.Memory.data a)
+  | I64, Some (P16, SX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 2;
+      r.rl.(s) <- Int64.of_int (Bytes.get_int16_le m.Memory.data a)
+  | I64, Some (P16, ZX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 2;
+      r.rl.(s) <- Int64.of_int (Bytes.get_uint16_le m.Memory.data a)
+  | I64, Some (P32, SX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      r.rl.(s) <- Int64.of_int32 (Bytes.get_int32_le m.Memory.data a)
+  | I64, Some (P32, ZX) ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      r.rl.(s) <- Int64.logand (Int64.of_int32 (Bytes.get_int32_le m.Memory.data a)) 0xffffffffL
+  | (I32 | F32 | F64), Some (P32, _) | (F32 | F64), Some ((P8 | P16), _) ->
+    invalid_arg "Aot: invalid load"
+
+and compile_store ty pack off s : code =
+  (* address at slot s, value at slot s+1 *)
+  match (ty, pack) with
+  | I32, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      Bytes.set_int32_le m.Memory.data a (Int32.of_int r.ri.(s + 1))
+  | I64, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 8;
+      Bytes.set_int64_le m.Memory.data a r.rl.(s + 1)
+  | F32, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      Bytes.set_int32_le m.Memory.data a (Int32.bits_of_float r.rf.(s + 1))
+  | F64, None ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 8;
+      Bytes.set_int64_le m.Memory.data a (Int64.bits_of_float r.rf.(s + 1))
+  | I32, Some P8 ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 1;
+      Bytes.set_uint8 m.Memory.data a (r.ri.(s + 1) land 0xff)
+  | I32, Some P16 ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 2;
+      Bytes.set_uint16_le m.Memory.data a (r.ri.(s + 1) land 0xffff)
+  | I64, Some P8 ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 1;
+      Bytes.set_uint8 m.Memory.data a (Int64.to_int r.rl.(s + 1) land 0xff)
+  | I64, Some P16 ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 2;
+      Bytes.set_uint16_le m.Memory.data a (Int64.to_int r.rl.(s + 1) land 0xffff)
+  | I64, Some P32 ->
+    fun r ->
+      let m = mem0 r in
+      let a = u32 r.ri.(s) + off in
+      check_addr m.Memory.data a 4;
+      Bytes.set_int32_le m.Memory.data a (Int64.to_int32 r.rl.(s + 1))
+  | (I32 | F32 | F64), Some P32 | (F32 | F64), Some (P8 | P16) -> invalid_arg "Aot: invalid store"
+
+and emit_call (callee : cfuncinst) (ft : functype) ~args_base : code =
+  let n = List.length ft.params in
+  match callee with
+  | CHost { impl; chtype; _ } ->
+    let param_types = Array.of_list chtype.params in
+    let result_types = chtype.results in
+    fun r ->
+      let args = Array.init n (fun i -> read_slot r param_types.(i) (args_base + i)) in
+      let results = impl args in
+      if List.length results <> List.length result_types then
+        raise (Trap "host function returned wrong arity");
+      List.iteri (fun i (t, v) -> write_slot r t (args_base + i) v)
+        (List.combine result_types results)
+  | CWasm f ->
+    let param_types = Array.of_list ft.params in
+    let result_types = Array.of_list ft.results in
+    fun r ->
+      let callee_rt = make_rt r.ri_inst f in
+      for i = 0 to n - 1 do
+        match param_types.(i) with
+        | I32 -> callee_rt.li.(i) <- r.ri.(args_base + i)
+        | I64 -> callee_rt.ll.(i) <- r.rl.(args_base + i)
+        | F32 | F64 -> callee_rt.lf.(i) <- r.rf.(args_base + i)
+      done;
+      (try f.body callee_rt with Ret_exn -> ());
+      for i = 0 to Array.length result_types - 1 do
+        match result_types.(i) with
+        | I32 -> r.ri.(args_base + i) <- callee_rt.ri.(i)
+        | I64 -> r.rl.(args_base + i) <- callee_rt.rl.(i)
+        | F32 | F64 -> r.rf.(args_base + i) <- callee_rt.rf.(i)
+      done
+
+and branch_code ctx n : code * exn =
+  let frame = List.nth ctx.frames n in
+  let arity = List.length frame.label_types in
+  let move =
+    emit_moves frame.label_types ~src:(ctx.height - arity) ~dst:frame.entry_height
+  in
+  (move, br_exn n)
+
+and compile_block ctx get_cfunc bt body : code =
+  let ts = match bt with BlockEmpty -> [] | BlockVal t -> [ t ] in
+  let entry_height = ctx.height in
+  ctx.frames <- { entry_height; label_types = ts; end_types = ts } :: ctx.frames;
+  let body_code = compile_seq ctx get_cfunc body in
+  ctx.frames <- List.tl ctx.frames;
+  (* Whatever path was taken, the stack now holds [ts] at entry_height. *)
+  ctx.stack <- List.rev_append (List.rev ts) (drop_to ctx entry_height);
+  ctx.height <- entry_height + List.length ts;
+  fun r ->
+    (try body_code r with
+    | Br_exn 0 -> ()
+    | Br_exn n -> raise (br_exn (n - 1)))
+
+and compile_loop ctx get_cfunc bt body : code =
+  let ts = match bt with BlockEmpty -> [] | BlockVal t -> [ t ] in
+  let entry_height = ctx.height in
+  ctx.frames <- { entry_height; label_types = []; end_types = ts } :: ctx.frames;
+  (* Back-edge peephole: structured compilers (and MiniC) end every
+     loop body with an unconditional [br 0]. Compiling that back edge
+     as a plain recursive call instead of a raised exception removes an
+     exception per iteration from every hot loop. *)
+  let explicit_backedge =
+    match List.rev body with Br 0 :: _ -> true | _ -> false
+  in
+  let body = if explicit_backedge then List.rev (List.tl (List.rev body)) else body in
+  let body_code = compile_seq ctx get_cfunc body in
+  ctx.frames <- List.tl ctx.frames;
+  ctx.stack <- List.rev_append (List.rev ts) (drop_to ctx entry_height);
+  ctx.height <- entry_height + List.length ts;
+  if explicit_backedge then
+    fun r ->
+      let rec iterate () =
+        (try body_code r with Br_exn 0 -> ());
+        iterate ()
+      in
+      (try iterate () with
+      | Br_exn 0 -> ()
+      | Br_exn n -> raise (br_exn (n - 1)))
+  else
+    fun r ->
+      let rec iterate () =
+        match body_code r with
+        | () -> ()
+        | exception Br_exn 0 -> iterate ()
+        | exception Br_exn n -> raise (br_exn (n - 1))
+      in
+      iterate ()
+
+and compile_if ctx get_cfunc bt then_ else_ : code =
+  ignore (pop_t ctx);
+  let cond_slot = ctx.height in
+  let ts = match bt with BlockEmpty -> [] | BlockVal t -> [ t ] in
+  let entry_height = ctx.height in
+  let saved_stack = ctx.stack in
+  ctx.frames <- { entry_height; label_types = ts; end_types = ts } :: ctx.frames;
+  let then_code = compile_seq ctx get_cfunc then_ in
+  (* Reset for the else arm. *)
+  ctx.stack <- saved_stack;
+  ctx.height <- entry_height;
+  let else_code = compile_seq ctx get_cfunc else_ in
+  ctx.frames <- List.tl ctx.frames;
+  ctx.stack <- List.rev_append (List.rev ts) (drop_to ctx entry_height);
+  ctx.height <- entry_height + List.length ts;
+  fun r ->
+    (try if r.ri.(cond_slot) <> 0 then then_code r else else_code r with
+    | Br_exn 0 -> ()
+    | Br_exn n -> raise (br_exn (n - 1)))
+
+and drop_to ctx target_height =
+  (* The compile-time stack below [target_height], as a list. *)
+  let rec go stack h = if h > target_height then go (List.tl stack) (h - 1) else stack in
+  go ctx.stack ctx.height
+
+(* Peephole fusion: collapse the instruction sequences a structured
+   compiler emits for array addressing and operand loading into single
+   closures. Every fusion reproduces exactly the stack effect and the
+   32-bit wrap-around semantics of the unfused sequence; the
+   differential tests (interp vs AOT on every workload) guard this. *)
+and try_fuse ctx (instrs : instr list) : (code * instr list) option =
+  let local_is ty idx = idx < Array.length ctx.locals && valtype_equal ctx.locals.(idx) ty in
+  let pure_i32 = function
+    | Add | Sub | Mul | And | Or | Xor -> true
+    | DivS | DivU | RemS | RemU | Shl | ShrS | ShrU | Rotl | Rotr -> false
+  in
+  let iop = function
+    | Add -> ( + )
+    | Sub -> ( - )
+    | Mul -> ( * )
+    | And -> ( land )
+    | Or -> ( lor )
+    | Xor -> ( lxor )
+    | DivS | DivU | RemS | RemU | Shl | ShrS | ShrU | Rotl | Rotr -> assert false
+  in
+  let fop = function
+    | Fadd -> ( +. )
+    | Fsub -> ( -. )
+    | Fmul -> ( *. )
+    | Fdiv -> ( /. )
+    | Fmin -> Numerics.f_min
+    | Fmax -> Numerics.f_max
+    | Copysign -> Float.copy_sign
+  in
+  match instrs with
+  (* 2-D array address: base + ((r*cols + c) * elem). *)
+  | Const (VI32 b) :: LocalGet r :: Const (VI32 cols) :: IBinop (I32, Mul) :: LocalGet c
+    :: IBinop (I32, Add) :: Const (VI32 elem) :: IBinop (I32, Mul) :: IBinop (I32, Add)
+    :: rest
+    when local_is I32 r && local_is I32 c ->
+    push_t ctx I32;
+    let d = ctx.height - 1 in
+    let b = Int32.to_int b and cols = Int32.to_int cols and elem = Int32.to_int elem in
+    Some
+      ( (fun rt ->
+          let idx = wrap32 (wrap32 (rt.li.(r) * cols) + rt.li.(c)) in
+          rt.ri.(d) <- wrap32 (b + wrap32 (idx * elem))),
+        rest )
+  (* 1-D array address: base + (k * elem). *)
+  | Const (VI32 b) :: LocalGet k :: Const (VI32 elem) :: IBinop (I32, Mul)
+    :: IBinop (I32, Add) :: rest
+    when local_is I32 k ->
+    push_t ctx I32;
+    let d = ctx.height - 1 in
+    let b = Int32.to_int b and elem = Int32.to_int elem in
+    Some ((fun rt -> rt.ri.(d) <- wrap32 (b + wrap32 (rt.li.(k) * elem))), rest)
+  (* local op local (i32). *)
+  | LocalGet a :: LocalGet b :: IBinop (I32, op) :: rest
+    when local_is I32 a && local_is I32 b && pure_i32 op ->
+    push_t ctx I32;
+    let d = ctx.height - 1 in
+    let f = iop op in
+    Some ((fun rt -> rt.ri.(d) <- wrap32 (f rt.li.(a) rt.li.(b))), rest)
+  (* local op const (i32). *)
+  | LocalGet a :: Const (VI32 k) :: IBinop (I32, op) :: rest
+    when local_is I32 a && pure_i32 op ->
+    push_t ctx I32;
+    let d = ctx.height - 1 in
+    let f = iop op and k = Int32.to_int k in
+    Some ((fun rt -> rt.ri.(d) <- wrap32 (f rt.li.(a) k)), rest)
+  (* top op const (i32). *)
+  | Const (VI32 k) :: IBinop (I32, op) :: rest when ctx.height > 0 && pure_i32 op ->
+    (match ctx.stack with
+    | I32 :: _ ->
+      let d = ctx.height - 1 in
+      let f = iop op and k = Int32.to_int k in
+      Some ((fun rt -> rt.ri.(d) <- wrap32 (f rt.ri.(d) k)), rest)
+    | _ -> None)
+  (* top op local (i32). *)
+  | LocalGet a :: IBinop (I32, op) :: rest
+    when local_is I32 a && ctx.height > 0 && pure_i32 op ->
+    (match ctx.stack with
+    | I32 :: _ ->
+      let d = ctx.height - 1 in
+      let f = iop op in
+      Some ((fun rt -> rt.ri.(d) <- wrap32 (f rt.ri.(d) rt.li.(a))), rest)
+    | _ -> None)
+  (* f64: local op local / local op const / top op local / top op const. *)
+  | LocalGet a :: LocalGet b :: FBinop (F64, op) :: rest
+    when local_is F64 a && local_is F64 b ->
+    push_t ctx F64;
+    let d = ctx.height - 1 in
+    let f = fop op in
+    Some ((fun rt -> rt.rf.(d) <- f rt.lf.(a) rt.lf.(b)), rest)
+  | LocalGet a :: Const (VF64 k) :: FBinop (F64, op) :: rest when local_is F64 a ->
+    push_t ctx F64;
+    let d = ctx.height - 1 in
+    let f = fop op in
+    Some ((fun rt -> rt.rf.(d) <- f rt.lf.(a) k), rest)
+  | LocalGet a :: FBinop (F64, op) :: rest when local_is F64 a && ctx.height > 0 ->
+    (match ctx.stack with
+    | F64 :: _ ->
+      let d = ctx.height - 1 in
+      let f = fop op in
+      Some ((fun rt -> rt.rf.(d) <- f rt.rf.(d) rt.lf.(a)), rest)
+    | _ -> None)
+  | Const (VF64 k) :: FBinop (F64, op) :: rest when ctx.height > 0 ->
+    (match ctx.stack with
+    | F64 :: _ ->
+      let d = ctx.height - 1 in
+      let f = fop op in
+      Some ((fun rt -> rt.rf.(d) <- f rt.rf.(d) k), rest)
+    | _ -> None)
+  (* to_f64 of an i32 local. *)
+  | LocalGet a :: Cvtop F64ConvertI32S :: rest when local_is I32 a ->
+    push_t ctx F64;
+    let d = ctx.height - 1 in
+    Some ((fun rt -> rt.rf.(d) <- float_of_int rt.li.(a)), rest)
+  (* f64 load at a fused or computed address followed by the value op
+     is left to the generic path. *)
+  | _ -> None
+
+and compile_seq ctx get_cfunc (body : instr list) : code =
+  let rec go acc instrs =
+    match try_fuse ctx instrs with
+    | Some (c, rest) -> go (c :: acc) rest
+    | None -> (
+      match instrs with
+      | [] -> seq_all (List.rev acc)
+      | i :: rest -> (
+        match compile_instr ctx get_cfunc i with
+        | Some c -> go (c :: acc) rest
+        | None -> seq_all (List.rev acc)
+        | exception Dead_code c ->
+          (* The instruction diverts control unconditionally; anything
+             after it in this sequence is dead and skipped. *)
+          seq_all (List.rev (c :: acc))))
+  in
+  go [] body
+
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation: compile + link + initialise in one pass. *)
+
+exception Link_error = Instance.Link_error
+
+type import_binding = string * string * rextern
+
+let host ~module_ ~name ~params ~results impl : import_binding =
+  (module_, name, RFunc (CHost { chtype = { params; results }; chname = name; impl }))
+
+let type_of_cfuncinst = function CWasm f -> f.cftype | CHost h -> h.chtype
+
+(** [instantiate ~imports m] compiles a {e validated} module to closures
+    and builds a runnable instance: memories and tables allocated, data
+    and element segments applied. The start function, if any, is run by
+    {!run_start} (call it explicitly, as the embedder controls timing
+    measurements around it). *)
+let instantiate ?(imports : import_binding list = []) (m : module_) : rinstance =
+  let import_tbl = Hashtbl.create 16 in
+  List.iter (fun (mo, na, ext) -> Hashtbl.replace import_tbl (mo, na) ext) imports;
+  let lookup (imp : import) =
+    match Hashtbl.find_opt import_tbl (imp.imp_module, imp.imp_name) with
+    | Some ext -> ext
+    | None -> Instance.link_fail "unknown import %s.%s" imp.imp_module imp.imp_name
+  in
+  let type_arr = Array.of_list m.types in
+  (* Imported entities. *)
+  let imp_funcs, imp_mems, imp_globals, imp_tables =
+    List.fold_left
+      (fun (fs, ms, gs, ts) imp ->
+        match (imp.idesc, lookup imp) with
+        | ImportFunc tidx, RFunc f ->
+          let expected = type_arr.(tidx) in
+          if not (functype_equal expected (type_of_cfuncinst f)) then
+            Instance.link_fail "import %s.%s: signature mismatch" imp.imp_module imp.imp_name;
+          (f :: fs, ms, gs, ts)
+        | ImportMemory l, RMemory mem ->
+          if Memory.size_pages mem < l.min then
+            Instance.link_fail "import %s.%s: memory too small" imp.imp_module imp.imp_name;
+          (fs, mem :: ms, gs, ts)
+        | ImportGlobal g, RGlobal cg ->
+          if not (valtype_equal g.content cg.cgty.content) then
+            Instance.link_fail "import %s.%s: global type mismatch" imp.imp_module imp.imp_name;
+          (fs, ms, cg :: gs, ts)
+        | ImportTable _, RTable t -> (fs, ms, gs, t :: ts)
+        | (ImportFunc _ | ImportMemory _ | ImportGlobal _ | ImportTable _), _ ->
+          Instance.link_fail "import %s.%s: kind mismatch" imp.imp_module imp.imp_name)
+      ([], [], [], []) m.imports
+  in
+  let imp_funcs = List.rev imp_funcs in
+  let imp_mems = List.rev imp_mems in
+  let imp_globals = List.rev imp_globals in
+  let imp_tables = List.rev imp_tables in
+  (* Own function shells (bodies compiled below, so calls can capture
+     the shells directly, including mutually recursive ones). *)
+  let own_cfuncs =
+    List.map
+      (fun (f : func) ->
+        let ft = type_arr.(f.ftype) in
+        let local_types = Array.of_list (ft.params @ f.locals) in
+        let n_locals = Array.length local_types in
+        ({
+           cftype = ft;
+           n_iloc = n_locals;
+           n_lloc = n_locals;
+           n_floc = n_locals;
+           n_ireg = 0;
+           n_lreg = 0;
+           n_freg = 0;
+           body = (fun _ -> ());
+           local_types;
+         }
+          : cfunc))
+      m.funcs
+  in
+  let cfuncs = Array.of_list (imp_funcs @ List.map (fun f -> CWasm f) own_cfuncs) in
+  let func_types = Array.map type_of_cfuncinst cfuncs in
+  let globals_t =
+    Array.of_list
+      (List.map (fun g -> g.cgty) imp_globals @ List.map (fun g -> g.gtype) m.globals)
+  in
+  (* Globals. *)
+  let eval_const imported body =
+    match body with
+    | [ Const v ] -> v
+    | [ GlobalGet i ] when i < List.length imported -> (List.nth imported i).cgvalue
+    | _ -> Instance.link_fail "unsupported constant expression"
+  in
+  let own_globals =
+    List.map (fun g -> { cgty = g.gtype; cgvalue = eval_const imp_globals g.ginit }) m.globals
+  in
+  let rglobals = Array.of_list (imp_globals @ own_globals) in
+  (* Memories and tables. *)
+  let own_mems = List.map Memory.create m.memories in
+  let rmemories = Array.of_list (imp_mems @ own_mems) in
+  let own_tables =
+    List.map (fun (l : limits) -> (Array.make l.min None : cfuncinst option array)) m.tables
+  in
+  let rtables = Array.of_list (imp_tables @ own_tables) in
+  let inst =
+    { cfuncs; rmemories; rtables; rglobals; rtypes = type_arr; rexports = [] }
+  in
+  (* Compile the bodies. *)
+  let get_cfunc idx = cfuncs.(idx) in
+  List.iteri
+    (fun own_idx (f : func) ->
+      let shell = List.nth own_cfuncs own_idx in
+      let ft = shell.cftype in
+      let ctx =
+        {
+          types = type_arr;
+          func_types;
+          globals_t;
+          locals = shell.local_types;
+          results = ft.results;
+          stack = [];
+          height = 0;
+          max_height = List.length ft.results;
+          frames = [ { entry_height = 0; label_types = ft.results; end_types = ft.results } ];
+        }
+      in
+      let body_code = compile_seq ctx get_cfunc f.body in
+      (* Mutate the shell in place so every call site captured during
+         compilation sees the compiled body and register-file sizes. *)
+      shell.body <- body_code;
+      shell.n_ireg <- ctx.max_height;
+      shell.n_lreg <- ctx.max_height;
+      shell.n_freg <- ctx.max_height)
+    m.funcs;
+  (* Element segments. *)
+  List.iter
+    (fun e ->
+      let offset =
+        match eval_const imp_globals e.eoffset with
+        | VI32 v -> Int32.to_int v land 0xffffffff
+        | VI64 _ | VF32 _ | VF64 _ -> Instance.link_fail "element offset must be i32"
+      in
+      let table = rtables.(e.etable) in
+      if offset + List.length e.einit > Array.length table then
+        Instance.link_fail "element segment out of bounds";
+      List.iteri (fun i fidx -> table.(offset + i) <- Some cfuncs.(fidx)) e.einit)
+    m.elems;
+  (* Data segments. *)
+  List.iter
+    (fun d ->
+      let offset =
+        match eval_const imp_globals d.doffset with
+        | VI32 v -> Int32.to_int v land 0xffffffff
+        | VI64 _ | VF32 _ | VF64 _ -> Instance.link_fail "data offset must be i32"
+      in
+      let mem = rmemories.(d.dmem) in
+      if offset + String.length d.dinit > Memory.size_bytes mem then
+        Instance.link_fail "data segment out of bounds";
+      Memory.store_string mem offset d.dinit)
+    m.datas;
+  (* Exports. *)
+  inst.rexports <-
+    List.map
+      (fun e ->
+        let ext =
+          match e.edesc with
+          | ExportFunc i -> RFunc cfuncs.(i)
+          | ExportMemory i -> RMemory rmemories.(i)
+          | ExportGlobal i -> RGlobal rglobals.(i)
+          | ExportTable i -> RTable rtables.(i)
+        in
+        (e.exp_name, ext))
+      m.exports;
+  inst
+
+(* ------------------------------------------------------------------ *)
+(* Invocation *)
+
+(** Call a compiled or host function with boxed values. *)
+let invoke_funcinst (inst : rinstance) (fi : cfuncinst) (args : value list) : value list =
+  let ft = type_of_cfuncinst fi in
+  if List.length args <> List.length ft.params then raise (Trap "invoke: wrong argument count");
+  List.iter2
+    (fun v t ->
+      if not (valtype_equal (type_of_value v) t) then
+        raise (Trap "invoke: argument type mismatch"))
+    args ft.params;
+  match fi with
+  | CHost { impl; _ } -> impl (Array.of_list args)
+  | CWasm f ->
+    let r = make_rt inst f in
+    List.iteri
+      (fun i v ->
+        match v with
+        | VI32 x -> r.li.(i) <- Int32.to_int x
+        | VI64 x -> r.ll.(i) <- x
+        | VF32 x | VF64 x -> r.lf.(i) <- x)
+      args;
+    (try f.body r with Ret_exn -> ());
+    List.mapi (fun i t -> read_slot r t i) ft.results
+
+let export_func (inst : rinstance) name =
+  match List.assoc_opt name inst.rexports with
+  | Some (RFunc f) -> Some f
+  | Some (RMemory _ | RGlobal _ | RTable _) | None -> None
+
+let export_memory (inst : rinstance) name =
+  match List.assoc_opt name inst.rexports with
+  | Some (RMemory m) -> Some m
+  | Some (RFunc _ | RGlobal _ | RTable _) | None -> None
+
+(** Invoke an exported function by name. Raises [Not_found] if the
+    export is missing or not a function. *)
+let invoke (inst : rinstance) name args =
+  match export_func inst name with
+  | Some f -> invoke_funcinst inst f args
+  | None -> raise Not_found
+
+(** Run the module's start function, if any. *)
+let run_start (inst : rinstance) (m : module_) =
+  match m.start with
+  | None -> ()
+  | Some f -> ignore (invoke_funcinst inst inst.cfuncs.(f) [])

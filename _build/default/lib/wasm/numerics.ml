@@ -1,0 +1,215 @@
+(** Numeric semantics of WebAssembly operators: two's-complement
+    integer operations, trapping division and conversions, and IEEE 754
+    behaviour for floats (f32 results are rounded through 32-bit
+    precision). *)
+
+exception Trap of string
+
+let trap msg = raise (Trap msg)
+
+(* ------------------------------------------------------------------ *)
+(* i32 *)
+
+module I32_ops = struct
+  let clz x =
+    if Int32.equal x 0l then 32l
+    else begin
+      let n = ref 0 and x = ref x in
+      while Int32.logand !x 0x80000000l = 0l do
+        incr n;
+        x := Int32.shift_left !x 1
+      done;
+      Int32.of_int !n
+    end
+
+  let ctz x =
+    if Int32.equal x 0l then 32l
+    else begin
+      let n = ref 0 and x = ref x in
+      while Int32.logand !x 1l = 0l do
+        incr n;
+        x := Int32.shift_right_logical !x 1
+      done;
+      Int32.of_int !n
+    end
+
+  let popcnt x =
+    let n = ref 0 in
+    for i = 0 to 31 do
+      if Int32.logand (Int32.shift_right_logical x i) 1l = 1l then incr n
+    done;
+    Int32.of_int !n
+
+  let div_s a b =
+    if Int32.equal b 0l then trap "integer divide by zero"
+    else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then trap "integer overflow"
+    else Int32.div a b
+
+  let div_u a b =
+    if Int32.equal b 0l then trap "integer divide by zero" else Int32.unsigned_div a b
+
+  let rem_s a b =
+    if Int32.equal b 0l then trap "integer divide by zero"
+    else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then 0l
+    else Int32.rem a b
+
+  let rem_u a b =
+    if Int32.equal b 0l then trap "integer divide by zero" else Int32.unsigned_rem a b
+
+  let shl a b = Int32.shift_left a (Int32.to_int b land 31)
+  let shr_s a b = Int32.shift_right a (Int32.to_int b land 31)
+  let shr_u a b = Int32.shift_right_logical a (Int32.to_int b land 31)
+
+  let rotl a b =
+    let n = Int32.to_int b land 31 in
+    if n = 0 then a
+    else Int32.logor (Int32.shift_left a n) (Int32.shift_right_logical a (32 - n))
+
+  let rotr a b =
+    let n = Int32.to_int b land 31 in
+    if n = 0 then a
+    else Int32.logor (Int32.shift_right_logical a n) (Int32.shift_left a (32 - n))
+
+  let lt_u a b = Int32.unsigned_compare a b < 0
+  let gt_u a b = Int32.unsigned_compare a b > 0
+  let le_u a b = Int32.unsigned_compare a b <= 0
+  let ge_u a b = Int32.unsigned_compare a b >= 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* i64 *)
+
+module I64_ops = struct
+  let clz x =
+    if Int64.equal x 0L then 64L
+    else begin
+      let n = ref 0 and x = ref x in
+      while Int64.logand !x Int64.min_int = 0L do
+        incr n;
+        x := Int64.shift_left !x 1
+      done;
+      Int64.of_int !n
+    end
+
+  let ctz x =
+    if Int64.equal x 0L then 64L
+    else begin
+      let n = ref 0 and x = ref x in
+      while Int64.logand !x 1L = 0L do
+        incr n;
+        x := Int64.shift_right_logical !x 1
+      done;
+      Int64.of_int !n
+    end
+
+  let popcnt x =
+    let n = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr n
+    done;
+    Int64.of_int !n
+
+  let div_s a b =
+    if Int64.equal b 0L then trap "integer divide by zero"
+    else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then trap "integer overflow"
+    else Int64.div a b
+
+  let div_u a b =
+    if Int64.equal b 0L then trap "integer divide by zero" else Int64.unsigned_div a b
+
+  let rem_s a b =
+    if Int64.equal b 0L then trap "integer divide by zero"
+    else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then 0L
+    else Int64.rem a b
+
+  let rem_u a b =
+    if Int64.equal b 0L then trap "integer divide by zero" else Int64.unsigned_rem a b
+
+  let shl a b = Int64.shift_left a (Int64.to_int b land 63)
+  let shr_s a b = Int64.shift_right a (Int64.to_int b land 63)
+  let shr_u a b = Int64.shift_right_logical a (Int64.to_int b land 63)
+
+  let rotl a b =
+    let n = Int64.to_int b land 63 in
+    if n = 0 then a
+    else Int64.logor (Int64.shift_left a n) (Int64.shift_right_logical a (64 - n))
+
+  let rotr a b =
+    let n = Int64.to_int b land 63 in
+    if n = 0 then a
+    else Int64.logor (Int64.shift_right_logical a n) (Int64.shift_left a (64 - n))
+
+  let lt_u a b = Int64.unsigned_compare a b < 0
+  let gt_u a b = Int64.unsigned_compare a b > 0
+  let le_u a b = Int64.unsigned_compare a b <= 0
+  let ge_u a b = Int64.unsigned_compare a b >= 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* floats *)
+
+let to_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let f_nearest x =
+  (* Round to nearest, ties to even. *)
+  if Float.is_nan x || Float.is_integer x then x
+  else begin
+    let lo = Float.floor x and hi = Float.ceil x in
+    let dl = x -. lo and dh = hi -. x in
+    if dl < dh then lo
+    else if dh < dl then hi
+    else if Float.rem lo 2.0 = 0.0 then lo
+    else hi
+  end
+
+let f_min a b =
+  if Float.is_nan a || Float.is_nan b then Float.nan
+  else if a = 0.0 && b = 0.0 then if 1.0 /. a < 0.0 || 1.0 /. b < 0.0 then -0.0 else 0.0
+  else Float.min a b
+
+let f_max a b =
+  if Float.is_nan a || Float.is_nan b then Float.nan
+  else if a = 0.0 && b = 0.0 then if 1.0 /. a > 0.0 || 1.0 /. b > 0.0 then 0.0 else -0.0
+  else Float.max a b
+
+(* ------------------------------------------------------------------ *)
+(* trapping float -> int truncations *)
+
+let trunc_to_i32_s x =
+  if Float.is_nan x then trap "invalid conversion to integer"
+  else
+    let t = Float.trunc x in
+    if t >= 2147483648.0 || t < -2147483648.0 then trap "integer overflow"
+    else Int32.of_float t
+
+let trunc_to_i32_u x =
+  if Float.is_nan x then trap "invalid conversion to integer"
+  else
+    let t = Float.trunc x in
+    if t >= 4294967296.0 || t <= -1.0 then trap "integer overflow"
+    else Int32.of_int (int_of_float t)
+
+let trunc_to_i64_s x =
+  if Float.is_nan x then trap "invalid conversion to integer"
+  else
+    let t = Float.trunc x in
+    if t >= 9.2233720368547758e18 || t < -9.2233720368547758e18 then trap "integer overflow"
+    else Int64.of_float t
+
+let trunc_to_i64_u x =
+  if Float.is_nan x then trap "invalid conversion to integer"
+  else
+    let t = Float.trunc x in
+    if t >= 1.8446744073709552e19 || t <= -1.0 then trap "integer overflow"
+    else if t < 9.2233720368547758e18 then Int64.of_float t
+    else Int64.add (Int64.of_float (t -. 9223372036854775808.0)) Int64.min_int
+
+(* unsigned int -> float *)
+
+let u32_to_float x =
+  let v = Int64.logand (Int64.of_int32 x) 0xffffffffL in
+  Int64.to_float v
+
+let u64_to_float x =
+  if Int64.compare x 0L >= 0 then Int64.to_float x
+  else Int64.to_float (Int64.shift_right_logical x 1) *. 2.0 +. Int64.to_float (Int64.logand x 1L)

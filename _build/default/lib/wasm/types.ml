@@ -1,0 +1,35 @@
+(** Structural types of the WebAssembly MVP (binary format 1). *)
+
+type valtype = I32 | I64 | F32 | F64
+
+type functype = { params : valtype list; results : valtype list }
+(** Function signature. The MVP allows at most one result; the validator
+    enforces this. *)
+
+type limits = { min : int; max : int option }
+
+type mutability = Immutable | Mutable
+
+type globaltype = { content : valtype; mut : mutability }
+
+let valtype_equal (a : valtype) (b : valtype) = a = b
+
+let functype_equal a b =
+  List.length a.params = List.length b.params
+  && List.length a.results = List.length b.results
+  && List.for_all2 valtype_equal a.params b.params
+  && List.for_all2 valtype_equal a.results b.results
+
+let string_of_valtype = function
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let string_of_functype ft =
+  Printf.sprintf "[%s] -> [%s]"
+    (String.concat " " (List.map string_of_valtype ft.params))
+    (String.concat " " (List.map string_of_valtype ft.results))
+
+let page_size = 65536
+let max_pages = 65536

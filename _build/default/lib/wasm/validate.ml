@@ -1,0 +1,357 @@
+(** WebAssembly module validation (spec §3), implementing the standard
+    operand-stack / control-stack type-checking algorithm from the spec
+    appendix.
+
+    WaTZ refuses to instantiate unvalidated bytecode: the sandbox
+    guarantees of the paper's §III rest on every loaded module being
+    well-typed. *)
+
+open Types
+open Ast
+
+exception Invalid of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+(* Operand types: a concrete valtype, or Unknown below an unconditional
+   branch (polymorphic stack). *)
+type opd = Known of valtype | Unknown
+
+type ctrl = {
+  label_types : valtype list; (* types expected by branches to this label *)
+  end_types : valtype list; (* types left on exit *)
+  height : int;
+  mutable unreachable : bool;
+  is_loop : bool;
+}
+
+type context = {
+  module_ : module_;
+  func_types : functype array; (* by function index, imports first *)
+  global_types : globaltype array;
+  table_count : int;
+  memory_count : int;
+  locals : valtype array;
+  return_types : valtype list;
+  mutable opds : opd list;
+  mutable ctrls : ctrl list;
+}
+
+let push_opd ctx t = ctx.opds <- t :: ctx.opds
+
+let pop_opd ctx =
+  match (ctx.opds, ctx.ctrls) with
+  | _, [] -> fail "control stack underflow"
+  | opds, frame :: _ ->
+    if List.length opds = frame.height then
+      if frame.unreachable then Unknown else fail "operand stack underflow"
+    else begin
+      match opds with
+      | [] -> fail "operand stack underflow"
+      | t :: rest ->
+        ctx.opds <- rest;
+        t
+    end
+
+let pop_expect ctx expect =
+  match pop_opd ctx with
+  | Unknown -> ()
+  | Known t -> if not (valtype_equal t expect) then
+      fail "type mismatch: expected %s, got %s" (string_of_valtype expect) (string_of_valtype t)
+
+let pop_expects ctx types = List.iter (pop_expect ctx) (List.rev types)
+let push_knowns ctx types = List.iter (fun t -> push_opd ctx (Known t)) types
+
+let push_ctrl ctx ~is_loop label_types end_types =
+  ctx.ctrls <-
+    { label_types; end_types; height = List.length ctx.opds; unreachable = false; is_loop }
+    :: ctx.ctrls
+
+let pop_ctrl ctx =
+  match ctx.ctrls with
+  | [] -> fail "control stack underflow"
+  | frame :: rest ->
+    pop_expects ctx frame.end_types;
+    if List.length ctx.opds <> frame.height then fail "values remain on stack at end of block";
+    ctx.ctrls <- rest;
+    frame
+
+let set_unreachable ctx =
+  match ctx.ctrls with
+  | [] -> fail "control stack underflow"
+  | frame :: _ ->
+    (* Discard operands pushed inside this frame. *)
+    let rec drop opds = if List.length opds > frame.height then drop (List.tl opds) else opds in
+    ctx.opds <- drop ctx.opds;
+    frame.unreachable <- true
+
+let label_arity ctx n =
+  match List.nth_opt ctx.ctrls n with
+  | None -> fail "branch depth %d out of range" n
+  | Some frame -> frame.label_types
+
+let blocktype_types = function BlockEmpty -> [] | BlockVal t -> [ t ]
+
+let check_memarg ctx (m : memarg) ~width =
+  if ctx.memory_count = 0 then fail "memory instruction with no memory";
+  let natural = match width with 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false in
+  if m.align > natural then fail "alignment %d larger than natural %d" m.align natural
+
+let width_of = function
+  | None, t -> (match t with I32 | F32 -> 4 | I64 | F64 -> 8)
+  | Some P8, _ -> 1
+  | Some P16, _ -> 2
+  | Some P32, _ -> 4
+
+let rec check_instr ctx (i : instr) =
+  match i with
+  | Unreachable -> set_unreachable ctx
+  | Nop -> ()
+  | Block (bt, body) ->
+    let ts = blocktype_types bt in
+    push_ctrl ctx ~is_loop:false ts ts;
+    check_body ctx body
+  | Loop (bt, body) ->
+    let ts = blocktype_types bt in
+    (* Branches to a loop target its beginning: label types are the
+       (empty, in the MVP) parameter types. *)
+    push_ctrl ctx ~is_loop:true [] ts;
+    check_body ctx body
+  | If (bt, then_, else_) ->
+    pop_expect ctx I32;
+    let ts = blocktype_types bt in
+    let saved_opds = ctx.opds in
+    push_ctrl ctx ~is_loop:false ts ts;
+    check_body ctx then_;
+    if else_ <> [] then begin
+      ctx.opds <- saved_opds;
+      push_ctrl ctx ~is_loop:false ts ts;
+      check_body ctx else_
+    end
+    else if ts <> [] then fail "if with result type requires else"
+    else push_knowns ctx ts
+  | Br n ->
+    pop_expects ctx (label_arity ctx n);
+    set_unreachable ctx
+  | BrIf n ->
+    pop_expect ctx I32;
+    let ts = label_arity ctx n in
+    pop_expects ctx ts;
+    push_knowns ctx ts
+  | BrTable (targets, default) ->
+    pop_expect ctx I32;
+    let ts = label_arity ctx default in
+    List.iter
+      (fun n ->
+        let ts' = label_arity ctx n in
+        if List.length ts <> List.length ts' || not (List.for_all2 valtype_equal ts ts') then
+          fail "br_table targets have inconsistent types")
+      targets;
+    pop_expects ctx ts;
+    set_unreachable ctx
+  | Return ->
+    pop_expects ctx ctx.return_types;
+    set_unreachable ctx
+  | Call f ->
+    if f >= Array.length ctx.func_types then fail "call: function %d out of range" f;
+    let ft = ctx.func_types.(f) in
+    pop_expects ctx ft.params;
+    push_knowns ctx ft.results
+  | CallIndirect t ->
+    if ctx.table_count = 0 then fail "call_indirect with no table";
+    (match List.nth_opt ctx.module_.types t with
+    | None -> fail "call_indirect: type %d out of range" t
+    | Some ft ->
+      pop_expect ctx I32;
+      pop_expects ctx ft.params;
+      push_knowns ctx ft.results)
+  | Drop -> ignore (pop_opd ctx)
+  | Select ->
+    pop_expect ctx I32;
+    let t1 = pop_opd ctx in
+    let t2 = pop_opd ctx in
+    (match (t1, t2) with
+    | Known a, Known b when not (valtype_equal a b) -> fail "select operands differ"
+    | Known a, _ -> push_opd ctx (Known a)
+    | Unknown, other -> push_opd ctx other)
+  | LocalGet i ->
+    if i >= Array.length ctx.locals then fail "local %d out of range" i;
+    push_opd ctx (Known ctx.locals.(i))
+  | LocalSet i ->
+    if i >= Array.length ctx.locals then fail "local %d out of range" i;
+    pop_expect ctx ctx.locals.(i)
+  | LocalTee i ->
+    if i >= Array.length ctx.locals then fail "local %d out of range" i;
+    pop_expect ctx ctx.locals.(i);
+    push_opd ctx (Known ctx.locals.(i))
+  | GlobalGet i ->
+    if i >= Array.length ctx.global_types then fail "global %d out of range" i;
+    push_opd ctx (Known ctx.global_types.(i).content)
+  | GlobalSet i ->
+    if i >= Array.length ctx.global_types then fail "global %d out of range" i;
+    let g = ctx.global_types.(i) in
+    if g.mut = Immutable then fail "global %d is immutable" i;
+    pop_expect ctx g.content
+  | Load (ty, pack, m) ->
+    let ext = match pack with None -> None | Some (p, _) -> Some p in
+    check_memarg ctx m ~width:(width_of (ext, ty));
+    pop_expect ctx I32;
+    push_opd ctx (Known ty)
+  | Store (ty, pack, m) ->
+    check_memarg ctx m ~width:(width_of (pack, ty));
+    pop_expect ctx ty;
+    pop_expect ctx I32
+  | MemorySize ->
+    if ctx.memory_count = 0 then fail "memory.size with no memory";
+    push_opd ctx (Known I32)
+  | MemoryGrow ->
+    if ctx.memory_count = 0 then fail "memory.grow with no memory";
+    pop_expect ctx I32;
+    push_opd ctx (Known I32)
+  | Const v -> push_opd ctx (Known (type_of_value v))
+  | ITestop ty ->
+    pop_expect ctx ty;
+    push_opd ctx (Known I32)
+  | IUnop (ty, _) | FUnop (ty, _) ->
+    pop_expect ctx ty;
+    push_opd ctx (Known ty)
+  | IBinop (ty, _) | FBinop (ty, _) ->
+    pop_expect ctx ty;
+    pop_expect ctx ty;
+    push_opd ctx (Known ty)
+  | IRelop (ty, _) | FRelop (ty, _) ->
+    pop_expect ctx ty;
+    pop_expect ctx ty;
+    push_opd ctx (Known I32)
+  | Cvtop op ->
+    let src, dst = cvt_types op in
+    pop_expect ctx src;
+    push_opd ctx (Known dst)
+
+and cvt_types = function
+  | I32WrapI64 -> (I64, I32)
+  | I32TruncF32S | I32TruncF32U -> (F32, I32)
+  | I32TruncF64S | I32TruncF64U -> (F64, I32)
+  | I64ExtendI32S | I64ExtendI32U -> (I32, I64)
+  | I64TruncF32S | I64TruncF32U -> (F32, I64)
+  | I64TruncF64S | I64TruncF64U -> (F64, I64)
+  | F32ConvertI32S | F32ConvertI32U -> (I32, F32)
+  | F32ConvertI64S | F32ConvertI64U -> (I64, F32)
+  | F32DemoteF64 -> (F64, F32)
+  | F64ConvertI32S | F64ConvertI32U -> (I32, F64)
+  | F64ConvertI64S | F64ConvertI64U -> (I64, F64)
+  | F64PromoteF32 -> (F32, F64)
+  | I32ReinterpretF32 -> (F32, I32)
+  | I64ReinterpretF64 -> (F64, I64)
+  | F32ReinterpretI32 -> (I32, F32)
+  | F64ReinterpretI64 -> (I64, F64)
+
+and check_body ctx body =
+  List.iter (check_instr ctx) body;
+  let frame = pop_ctrl ctx in
+  push_knowns ctx frame.end_types
+
+let check_functype ft =
+  if List.length ft.results > 1 then fail "multi-value results not supported in the MVP"
+
+(* Constant expressions initialise globals and segment offsets. *)
+let check_const_expr m expected body =
+  let imported = Array.of_list (imported_globals m) in
+  let t =
+    match body with
+    | [ Const v ] -> type_of_value v
+    | [ GlobalGet i ] ->
+      if i >= Array.length imported then fail "const expr: global %d not an import" i;
+      if imported.(i).mut = Mutable then fail "const expr: global %d is mutable" i;
+      imported.(i).content
+    | _ -> fail "unsupported constant expression"
+  in
+  if not (valtype_equal t expected) then
+    fail "constant expression has type %s, expected %s" (string_of_valtype t)
+      (string_of_valtype expected)
+
+let check_limits (l : limits) ~bound ~what =
+  if l.min > bound then fail "%s minimum %d exceeds bound %d" what l.min bound;
+  match l.max with
+  | None -> ()
+  | Some m ->
+    if m < l.min then fail "%s maximum %d below minimum %d" what m l.min;
+    if m > bound then fail "%s maximum %d exceeds bound %d" what m bound
+
+let validate (m : module_) =
+  List.iter check_functype m.types;
+  let type_of idx =
+    match List.nth_opt m.types idx with
+    | Some t -> t
+    | None -> fail "type index %d out of range" idx
+  in
+  let func_types =
+    Array.of_list (List.map type_of (imported_funcs m @ List.map (fun f -> f.ftype) m.funcs))
+  in
+  let global_types =
+    Array.of_list (imported_globals m @ List.map (fun g -> g.gtype) m.globals)
+  in
+  let table_count = List.length (imported_tables m) + List.length m.tables in
+  let memory_count = List.length (imported_memories m) + List.length m.memories in
+  if table_count > 1 then fail "at most one table in the MVP";
+  if memory_count > 1 then fail "at most one memory in the MVP";
+  List.iter (fun l -> check_limits l ~bound:max_pages ~what:"memory") m.memories;
+  List.iter (fun l -> check_limits l ~bound:0xffff_ffff ~what:"table") m.tables;
+  (* Globals: initialisers may only refer to imported globals. *)
+  List.iter (fun g -> check_const_expr m g.gtype.content g.ginit) m.globals;
+  (* Functions. *)
+  let n_imported = List.length (imported_funcs m) in
+  List.iteri
+    (fun i f ->
+      let ft = type_of f.ftype in
+      let ctx =
+        {
+          module_ = m;
+          func_types;
+          global_types;
+          table_count;
+          memory_count;
+          locals = Array.of_list (ft.params @ f.locals);
+          return_types = ft.results;
+          opds = [];
+          ctrls = [];
+        }
+      in
+      push_ctrl ctx ~is_loop:false ft.results ft.results;
+      try check_body ctx f.body
+      with Invalid msg -> fail "function %d: %s" (n_imported + i) msg)
+    m.funcs;
+  (* Start function must be [] -> []. *)
+  (match m.start with
+  | None -> ()
+  | Some f ->
+    if f >= Array.length func_types then fail "start function %d out of range" f;
+    let ft = func_types.(f) in
+    if ft.params <> [] || ft.results <> [] then fail "start function must have type [] -> []");
+  (* Exports: indices in range, names unique. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.exp_name then fail "duplicate export %S" e.exp_name;
+      Hashtbl.add seen e.exp_name ();
+      match e.edesc with
+      | ExportFunc i -> if i >= Array.length func_types then fail "export func %d out of range" i
+      | ExportGlobal i ->
+        if i >= Array.length global_types then fail "export global %d out of range" i
+      | ExportTable i -> if i >= table_count then fail "export table %d out of range" i
+      | ExportMemory i -> if i >= memory_count then fail "export memory %d out of range" i)
+    m.exports;
+  (* Element and data segments. *)
+  List.iter
+    (fun e ->
+      if e.etable >= table_count then fail "element segment: table %d out of range" e.etable;
+      check_const_expr m I32 e.eoffset;
+      List.iter
+        (fun f -> if f >= Array.length func_types then fail "element: func %d out of range" f)
+        e.einit)
+    m.elems;
+  List.iter
+    (fun d ->
+      if d.dmem >= memory_count then fail "data segment: memory %d out of range" d.dmem;
+      check_const_expr m I32 d.doffset)
+    m.datas

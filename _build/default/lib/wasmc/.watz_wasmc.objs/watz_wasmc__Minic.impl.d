@@ -1,0 +1,1 @@
+lib/wasmc/minic.ml: Format Hashtbl Int32 List Watz_wasm

@@ -1,0 +1,1 @@
+lib/workloads/bigapp.ml: Int32 Watz_wasm

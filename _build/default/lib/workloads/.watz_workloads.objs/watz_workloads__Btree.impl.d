@@ -1,0 +1,1 @@
+lib/workloads/btree.ml: Array List String

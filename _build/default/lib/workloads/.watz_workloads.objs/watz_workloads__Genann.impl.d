@@ -1,0 +1,1 @@
+lib/workloads/genann.ml: Array Bytes Int64 Watz_util

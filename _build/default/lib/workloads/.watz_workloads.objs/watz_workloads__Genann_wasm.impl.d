@@ -1,0 +1,1 @@
+lib/workloads/genann_wasm.ml: Array Dsl Genann Int32 Stdlib Watz_wasm Watz_wasmc

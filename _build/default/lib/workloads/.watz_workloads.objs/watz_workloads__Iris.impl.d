@@ -1,0 +1,1 @@
+lib/workloads/iris.ml: Array Buffer Bytes Float Int64 Printf String Watz_util

@@ -1,0 +1,1 @@
+lib/workloads/minidb.ml: Array Btree Buffer Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/workloads/speedtest.ml: Array Dsl List Watz_wasmc

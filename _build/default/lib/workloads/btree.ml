@@ -1,0 +1,196 @@
+(** An in-memory B-tree keyed by database values, used by {!Minidb}
+    for indexes (SQLite's central data structure, hence the name of the
+    Speedtest1 experiments it backs).
+
+    Keys map to lists of row identifiers; duplicate keys accumulate.
+    Classic order-[m] insertion with node splitting; lookups, ordered
+    iteration and range scans. *)
+
+type key = Kint of int | Kreal of float | Ktext of string | Knull
+
+let compare_key a b =
+  match (a, b) with
+  | Knull, Knull -> 0
+  | Knull, _ -> -1
+  | _, Knull -> 1
+  | Kint x, Kint y -> compare x y
+  | Kreal x, Kreal y -> compare x y
+  | Kint x, Kreal y -> compare (float_of_int x) y
+  | Kreal x, Kint y -> compare x (float_of_int y)
+  | (Kint _ | Kreal _), Ktext _ -> -1
+  | Ktext _, (Kint _ | Kreal _) -> 1
+  | Ktext x, Ktext y -> String.compare x y
+
+(* Node layout: keys.(0..n-1), vals.(0..n-1) and, for internal nodes,
+   children.(0..n). *)
+type node = {
+  mutable keys : key array;
+  mutable vals : int list array; (* row ids per key *)
+  mutable children : node array; (* empty for leaves *)
+}
+
+type t = { mutable root : node; order : int; mutable size : int }
+
+let min_order = 4
+
+let leaf () = { keys = [||]; vals = [||]; children = [||] }
+
+let create ?(order = 16) () =
+  { root = leaf (); order = max min_order order; size = 0 }
+
+let is_leaf n = Array.length n.children = 0
+
+(* Position of the first key >= k (binary search). *)
+let lower_bound node k =
+  let lo = ref 0 and hi = ref (Array.length node.keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key node.keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert a pos x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun k -> if k < pos then a.(k) else if k = pos then x else a.(k - 1))
+
+(* Split a full child [c] of [parent] at child index [ci]. *)
+let split_child t parent ci =
+  let c = parent.children.(ci) in
+  let mid = t.order - 1 in
+  let up_key = c.keys.(mid) and up_val = c.vals.(mid) in
+  let right =
+    {
+      keys = Array.sub c.keys (mid + 1) (Array.length c.keys - mid - 1);
+      vals = Array.sub c.vals (mid + 1) (Array.length c.vals - mid - 1);
+      children =
+        (if is_leaf c then [||]
+         else Array.sub c.children (mid + 1) (Array.length c.children - mid - 1));
+    }
+  in
+  c.keys <- Array.sub c.keys 0 mid;
+  c.vals <- Array.sub c.vals 0 mid;
+  if not (is_leaf c) then c.children <- Array.sub c.children 0 (mid + 1);
+  parent.keys <- array_insert parent.keys ci up_key;
+  parent.vals <- array_insert parent.vals ci up_val;
+  parent.children <- array_insert parent.children (ci + 1) right
+
+let node_full t n = Array.length n.keys >= (2 * t.order) - 1
+
+let rec insert_nonfull t node k rowid =
+  let pos = lower_bound node k in
+  if pos < Array.length node.keys && compare_key node.keys.(pos) k = 0 then
+    (* duplicate key: accumulate the row id *)
+    node.vals.(pos) <- rowid :: node.vals.(pos)
+  else if is_leaf node then begin
+    node.keys <- array_insert node.keys pos k;
+    node.vals <- array_insert node.vals pos [ rowid ]
+  end
+  else begin
+    let pos =
+      if node_full t node.children.(pos) then begin
+        split_child t node pos;
+        if compare_key node.keys.(pos) k < 0 then pos + 1
+        else if compare_key node.keys.(pos) k = 0 then begin
+          node.vals.(pos) <- rowid :: node.vals.(pos);
+          -1
+        end
+        else pos
+      end
+      else pos
+    in
+    if pos >= 0 then insert_nonfull t node.children.(pos) k rowid
+  end
+
+let insert t k rowid =
+  if node_full t t.root then begin
+    let new_root = { keys = [||]; vals = [||]; children = [| t.root |] } in
+    split_child t new_root 0;
+    t.root <- new_root
+  end;
+  insert_nonfull t t.root k rowid;
+  t.size <- t.size + 1
+
+let rec find_node node k =
+  let pos = lower_bound node k in
+  if pos < Array.length node.keys && compare_key node.keys.(pos) k = 0 then Some node.vals.(pos)
+  else if is_leaf node then None
+  else find_node node.children.(pos) k
+
+(** All row ids stored under [k] (most recently inserted first). *)
+let find t k = match find_node t.root k with Some ids -> ids | None -> []
+
+(** Remove one specific rowid under [k] (used by DELETE/UPDATE). *)
+let remove t k rowid =
+  let rec go node =
+    let pos = lower_bound node k in
+    if pos < Array.length node.keys && compare_key node.keys.(pos) k = 0 then begin
+      let before = List.length node.vals.(pos) in
+      node.vals.(pos) <- List.filter (fun id -> id <> rowid) node.vals.(pos);
+      if List.length node.vals.(pos) < before then t.size <- t.size - 1
+      (* Keys with empty id lists linger as tombstones; acceptable for
+         an in-memory index that is rebuilt by REINDEX. *)
+    end
+    else if not (is_leaf node) then go node.children.(pos)
+  in
+  go t.root
+
+(** In-order fold over (key, rowids) pairs. *)
+let fold t f acc =
+  let rec go node acc =
+    if is_leaf node then
+      let acc = ref acc in
+      Array.iteri (fun k key -> acc := f !acc key node.vals.(k)) node.keys;
+      !acc
+    else begin
+      let acc = ref acc in
+      Array.iteri
+        (fun k key ->
+          acc := go node.children.(k) !acc;
+          acc := f !acc key node.vals.(k))
+        node.keys;
+      go node.children.(Array.length node.children - 1) !acc
+    end
+  in
+  go t.root acc
+
+(** Row ids with lo <= key <= hi, in key order. *)
+let range t ~lo ~hi =
+  fold t
+    (fun acc key ids ->
+      if compare_key key lo >= 0 && compare_key key hi <= 0 then List.rev_append ids acc else acc)
+    []
+  |> List.rev
+
+let size t = t.size
+
+(* Structural sanity used by property tests: keys sorted within and
+   across nodes, uniform leaf depth. *)
+let check_invariants t =
+  let rec depth node = if is_leaf node then 0 else 1 + depth node.children.(0) in
+  let d = depth t.root in
+  let rec go node level (lo : key option) (hi : key option) =
+    let n = Array.length node.keys in
+    for k = 0 to n - 2 do
+      if compare_key node.keys.(k) node.keys.(k + 1) >= 0 then failwith "keys not sorted"
+    done;
+    (match (lo, n) with
+    | Some l, n when n > 0 -> if compare_key node.keys.(0) l <= 0 then failwith "lower bound"
+    | _ -> ());
+    (match (hi, n) with
+    | Some h, n when n > 0 ->
+      if compare_key node.keys.(n - 1) h >= 0 then failwith "upper bound"
+    | _ -> ());
+    if is_leaf node then begin
+      if level <> d then failwith "uneven leaf depth"
+    end
+    else begin
+      if Array.length node.children <> n + 1 then failwith "child count";
+      Array.iteri
+        (fun ci child ->
+          let lo' = if ci = 0 then lo else Some node.keys.(ci - 1) in
+          let hi' = if ci = n then hi else Some node.keys.(ci) in
+          go child (level + 1) lo' hi')
+        node.children
+    end
+  in
+  go t.root 0 None None

@@ -1,0 +1,186 @@
+(** A faithful OCaml port of Genann, the dependency-free feedforward
+    ANN library the paper uses for its end-to-end evaluation (§VI-F).
+
+    Like the original, the network is a flat weight array over fully
+    connected layers with bias inputs, trained by plain backpropagation,
+    and the sigmoid is evaluated through a precomputed lookup table
+    ("genann_act_sigmoid_cached") — which also makes the arithmetic
+    reproducible bit-for-bit in the MiniC/Wasm version
+    ({!Genann_wasm}). *)
+
+let sigmoid x = if x < -45.0 then 0.0 else if x > 45.0 then 1.0 else 1.0 /. (1.0 +. exp (-.x))
+
+(* Genann's cached sigmoid: 4096 samples on [-15, 15), flat lookup
+   without interpolation. *)
+let table_size = 4096
+let table_min = -15.0
+let table_max = 15.0
+let table_step = (table_max -. table_min) /. float_of_int table_size
+
+let sigmoid_table =
+  Array.init table_size (fun k -> sigmoid (table_min +. (float_of_int k *. table_step)))
+
+let sigmoid_cached x =
+  if x < table_min then 0.0
+  else if x >= table_max then 1.0
+  else begin
+    let idx = int_of_float ((x -. table_min) /. table_step) in
+    sigmoid_table.(min idx (table_size - 1))
+  end
+
+(** The lookup table as little-endian f64 bytes — embedded as a data
+    segment by the Wasm version so both sides share the exact values. *)
+let sigmoid_table_bytes () =
+  let b = Bytes.create (8 * table_size) in
+  Array.iteri (fun k v -> Bytes.set_int64_le b (8 * k) (Int64.bits_of_float v)) sigmoid_table;
+  Bytes.to_string b
+
+type t = {
+  inputs : int;
+  hidden_layers : int;
+  hidden : int;
+  outputs : int;
+  weights : float array;
+  (* scratch: all neuron outputs (inputs, hidden*, outputs) and deltas *)
+  output : float array;
+  delta : float array;
+}
+
+let total_weights ~inputs ~hidden_layers ~hidden ~outputs =
+  if hidden_layers = 0 then (inputs + 1) * outputs
+  else
+    ((inputs + 1) * hidden)
+    + ((hidden_layers - 1) * (hidden + 1) * hidden)
+    + ((hidden + 1) * outputs)
+
+let total_neurons ~inputs ~hidden_layers ~hidden ~outputs =
+  inputs + (hidden_layers * hidden) + outputs
+
+(** [create ~inputs ~hidden_layers ~hidden ~outputs ~rng] initialises
+    weights uniformly in [-0.5, 0.5), as genann_randomize does. *)
+let create ~inputs ~hidden_layers ~hidden ~outputs ~rng =
+  if inputs < 1 || outputs < 1 || hidden_layers < 0 || (hidden_layers > 0 && hidden < 1) then
+    invalid_arg "Genann.create";
+  let n_weights = total_weights ~inputs ~hidden_layers ~hidden ~outputs in
+  let n_neurons = total_neurons ~inputs ~hidden_layers ~hidden ~outputs in
+  {
+    inputs;
+    hidden_layers;
+    hidden;
+    outputs;
+    weights = Array.init n_weights (fun _ -> Watz_util.Prng.float rng 1.0 -. 0.5);
+    output = Array.make n_neurons 0.0;
+    delta = Array.make (n_neurons - inputs) 0.0;
+  }
+
+(** Forward pass; returns the offset of the first output neuron in
+    [t.output]. *)
+let run t (inputs : float array) =
+  Array.blit inputs 0 t.output 0 t.inputs;
+  let w = ref 0 in
+  let in_base = ref 0 in
+  let out_base = ref t.inputs in
+  (* hidden layers *)
+  for layer = 0 to t.hidden_layers - 1 do
+    let n_in = if layer = 0 then t.inputs else t.hidden in
+    for neuron = 0 to t.hidden - 1 do
+      (* bias weight first, as in genann (input of -1). *)
+      let sum = ref (t.weights.(!w) *. -1.0) in
+      incr w;
+      for k = 0 to n_in - 1 do
+        sum := !sum +. (t.weights.(!w) *. t.output.(!in_base + k));
+        incr w
+      done;
+      t.output.(!out_base + neuron) <- sigmoid_cached !sum
+    done;
+    in_base := !out_base;
+    out_base := !out_base + t.hidden
+  done;
+  (* output layer *)
+  let n_in = if t.hidden_layers = 0 then t.inputs else t.hidden in
+  for neuron = 0 to t.outputs - 1 do
+    let sum = ref (t.weights.(!w) *. -1.0) in
+    incr w;
+    for k = 0 to n_in - 1 do
+      sum := !sum +. (t.weights.(!w) *. t.output.(!in_base + k));
+      incr w
+    done;
+    t.output.(!out_base + neuron) <- sigmoid_cached !sum
+  done;
+  assert (!w = Array.length t.weights);
+  !out_base
+
+let outputs t (inputs : float array) =
+  let base = run t inputs in
+  Array.sub t.output base t.outputs
+
+(** One backpropagation step towards [desired], learning rate
+    [rate] — the genann_train loop. *)
+let train t (inputs : float array) (desired : float array) ~rate =
+  let out_base = run t inputs in
+  let n_neurons = Array.length t.output in
+  (* Output deltas: o (1 - o) (d - o). *)
+  let delta_base_out = out_base - t.inputs in
+  for j = 0 to t.outputs - 1 do
+    let o = t.output.(out_base + j) in
+    t.delta.(delta_base_out + j) <- o *. (1.0 -. o) *. (desired.(j) -. o)
+  done;
+  (* Hidden deltas, last hidden layer backwards. *)
+  for layer = t.hidden_layers - 1 downto 0 do
+    let layer_out_base = t.inputs + (layer * t.hidden) in
+    let layer_delta_base = layer * t.hidden in
+    let next_is_output = layer = t.hidden_layers - 1 in
+    let next_count = if next_is_output then t.outputs else t.hidden in
+    let next_delta_base = if next_is_output then delta_base_out else (layer + 1) * t.hidden in
+    (* Weight offset of the "next" layer. *)
+    let next_w_base =
+      ((t.inputs + 1) * t.hidden) + (layer * (t.hidden + 1) * t.hidden)
+    in
+    for j = 0 to t.hidden - 1 do
+      let o = t.output.(layer_out_base + j) in
+      let acc = ref 0.0 in
+      for k = 0 to next_count - 1 do
+        (* +1 skips the bias weight of next-layer neuron k. *)
+        let weight = t.weights.(next_w_base + (k * (t.hidden + 1)) + 1 + j) in
+        acc := !acc +. (t.delta.(next_delta_base + k) *. weight)
+      done;
+      t.delta.(layer_delta_base + j) <- o *. (1.0 -. o) *. !acc
+    done
+  done;
+  ignore n_neurons;
+  (* Update output-layer weights. *)
+  let n_in_last = if t.hidden_layers = 0 then t.inputs else t.hidden in
+  let last_in_base = if t.hidden_layers = 0 then 0 else t.inputs + ((t.hidden_layers - 1) * t.hidden) in
+  let w_out_base = Array.length t.weights - ((n_in_last + 1) * t.outputs) in
+  for j = 0 to t.outputs - 1 do
+    let d = t.delta.(delta_base_out + j) in
+    let base = w_out_base + (j * (n_in_last + 1)) in
+    t.weights.(base) <- t.weights.(base) +. (rate *. d *. -1.0);
+    for k = 0 to n_in_last - 1 do
+      t.weights.(base + 1 + k) <-
+        t.weights.(base + 1 + k) +. (rate *. d *. t.output.(last_in_base + k))
+    done
+  done;
+  (* Update hidden-layer weights. *)
+  for layer = t.hidden_layers - 1 downto 0 do
+    let n_in = if layer = 0 then t.inputs else t.hidden in
+    let in_base = if layer = 0 then 0 else t.inputs + ((layer - 1) * t.hidden) in
+    let w_base = if layer = 0 then 0 else ((t.inputs + 1) * t.hidden) + ((layer - 1) * (t.hidden + 1) * t.hidden) in
+    for j = 0 to t.hidden - 1 do
+      let d = t.delta.((layer * t.hidden) + j) in
+      let base = w_base + (j * (n_in + 1)) in
+      t.weights.(base) <- t.weights.(base) +. (rate *. d *. -1.0);
+      for k = 0 to n_in - 1 do
+        t.weights.(base + 1 + k) <-
+          t.weights.(base + 1 + k) +. (rate *. d *. t.output.(in_base + k))
+      done
+    done
+  done
+
+let predict_class t (inputs : float array) =
+  let out = outputs t inputs in
+  let best = ref 0 in
+  for j = 1 to t.outputs - 1 do
+    if out.(j) > out.(!best) then best := j
+  done;
+  !best

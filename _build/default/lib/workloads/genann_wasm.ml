@@ -1,0 +1,225 @@
+(** The Genann benchmark network compiled to Wasm via MiniC.
+
+    Same topology as the paper's §VI-F experiment: 4 inputs, 1 hidden
+    layer of 4 neurons, 3 outputs, sigmoid activations via the shared
+    lookup table (embedded as a data segment, so it is part of the code
+    measurement). The arithmetic mirrors {!Genann} operation-for-
+    operation, so given identical initial weights both produce
+    bit-identical trained weights — which the tests assert.
+
+    Memory layout (f64 unless noted):
+    - 0      sigmoid table (4096 entries)
+    - 32768  weights (35)
+    - 33280  neuron outputs (4 in, 4 hidden, 3 out)
+    - 33536  deltas (4 hidden, 3 out)
+    - 33600  desired one-hot (3)
+    - 65536  dataset (40-byte records, as {!Iris.to_bytes}) *)
+
+open Watz_wasmc.Minic
+open Watz_wasmc.Minic.Dsl
+
+let sig_base = 0
+let w_base = 32768
+let out_base = 33280
+let delta_base = 33536
+let desired_base = 33600
+let dataset_base = 65536
+let n_weights = 35
+
+let inputs = 4
+let in_plus_hidden = 8
+let hidden = 4
+let outputs = 3
+
+(* f64 cell addressing. *)
+let fcell base idx = LoadE (F64, BinE (Add, i base, BinE (Mul, idx, i 8)))
+let fstore base idx value = StoreS (F64, BinE (Add, i base, BinE (Mul, idx, i 8)), value)
+
+let table_last = Stdlib.( - ) Genann.table_size 1
+let table_step = (Genann.table_max -. Genann.table_min) /. float_of_int Genann.table_size
+
+let program ?(mem_pages = 2) () =
+  Dsl.program ~mem_pages
+    ~data:[ (sig_base, Genann.sigmoid_table_bytes ()) ]
+    [
+      (* Cached sigmoid, exactly as the OCaml side computes it. *)
+      fn ~export:false "sigmoid" [ ("x", F64) ] (Some F64)
+        [
+          if_ (CmpE (Lt, v "x", f Genann.table_min)) [ ret (f 0.0) ] [];
+          if_ (CmpE (Ge, v "x", f Genann.table_max)) [ ret (f 1.0) ] [];
+          DeclS ("idx", I32, Some (to_i32 ((v "x" - f Genann.table_min) / f table_step)));
+          if_ (v "idx" > i table_last) [ set "idx" (i table_last) ] [];
+          ret (fcell sig_base (v "idx"));
+        ];
+      (* Forward pass over the record at [rec] (4 f64 features). *)
+      fn ~export:false "forward" [ ("rec", I32) ] None
+        [
+          for_ "k" (i 0) (i inputs)
+            [ fstore out_base (v "k") (LoadE (F64, v "rec" + (v "k" * i 8))) ];
+          for_ "j" (i 0) (i hidden)
+            [
+              DeclS ("sum", F64, Some (fcell w_base (v "j" * i 5) * f (-1.0)));
+              for_ "k2" (i 0) (i inputs)
+                [
+                  set "sum"
+                    (v "sum"
+                    + (fcell w_base ((v "j" * i 5) + i 1 + v "k2") * fcell out_base (v "k2")));
+                ];
+              fstore out_base (i inputs + v "j") (calle "sigmoid" [ v "sum" ]);
+            ];
+          for_ "j2" (i 0) (i outputs)
+            [
+              DeclS ("sum2", F64, Some (fcell w_base (i 20 + (v "j2" * i 5)) * f (-1.0)));
+              for_ "k3" (i 0) (i hidden)
+                [
+                  set "sum2"
+                    (v "sum2"
+                    + (fcell w_base (i 20 + (v "j2" * i 5) + i 1 + v "k3")
+                      * fcell out_base (i inputs + v "k3")));
+                ];
+              fstore out_base (i in_plus_hidden + v "j2") (calle "sigmoid" [ v "sum2" ]);
+            ];
+          ret_void;
+        ];
+      (* One backpropagation step on the record at [rec]. *)
+      fn ~export:false "train_record" [ ("rec", I32); ("rate", F64) ] None
+        [
+          call "forward" [ v "rec" ];
+          DeclS ("cls", I32, Some (to_i32 (LoadE (F64, v "rec" + i 32))));
+          for_ "j" (i 0) (i outputs)
+            [ fstore desired_base (v "j") (TernE (v "j" = v "cls", f 1.0, f 0.0)) ];
+          (* output deltas *)
+          for_ "j2" (i 0) (i outputs)
+            [
+              DeclS ("o", F64, Some (fcell out_base (i in_plus_hidden + v "j2")));
+              fstore delta_base (i hidden + v "j2")
+                (v "o" * (f 1.0 - v "o") * (fcell desired_base (v "j2") - v "o"));
+            ];
+          (* hidden deltas *)
+          for_ "j3" (i 0) (i hidden)
+            [
+              DeclS ("oh", F64, Some (fcell out_base (i inputs + v "j3")));
+              DeclS ("acc", F64, Some (f 0.0));
+              for_ "k" (i 0) (i outputs)
+                [
+                  set "acc"
+                    (v "acc"
+                    + (fcell delta_base (i hidden + v "k")
+                      * fcell w_base (i 20 + (v "k" * i 5) + i 1 + v "j3")));
+                ];
+              fstore delta_base (v "j3") (v "oh" * (f 1.0 - v "oh") * v "acc");
+            ];
+          (* update output weights *)
+          for_ "j4" (i 0) (i outputs)
+            [
+              DeclS ("d", F64, Some (fcell delta_base (i hidden + v "j4")));
+              fstore w_base (i 20 + (v "j4" * i 5))
+                (fcell w_base (i 20 + (v "j4" * i 5)) + (v "rate" * v "d" * f (-1.0)));
+              for_ "k2" (i 0) (i hidden)
+                [
+                  fstore w_base (i 20 + (v "j4" * i 5) + i 1 + v "k2")
+                    (fcell w_base (i 20 + (v "j4" * i 5) + i 1 + v "k2")
+                    + (v "rate" * v "d" * fcell out_base (i inputs + v "k2")));
+                ];
+            ];
+          (* update hidden weights *)
+          for_ "j5" (i 0) (i hidden)
+            [
+              DeclS ("dh", F64, Some (fcell delta_base (v "j5")));
+              fstore w_base (v "j5" * i 5)
+                (fcell w_base (v "j5" * i 5) + (v "rate" * v "dh" * f (-1.0)));
+              for_ "k3" (i 0) (i inputs)
+                [
+                  fstore w_base ((v "j5" * i 5) + i 1 + v "k3")
+                    (fcell w_base ((v "j5" * i 5) + i 1 + v "k3")
+                    + (v "rate" * v "dh" * fcell out_base (v "k3")));
+                ];
+            ];
+          ret_void;
+        ];
+      (* Train [epochs] passes over [n] records at [base]. *)
+      fn "train" [ ("base", I32); ("n", I32); ("epochs", I32); ("rate", F64) ] None
+        [
+          for_ "e" (i 0) (v "epochs")
+            [
+              for_ "r" (i 0) (v "n")
+                [ call "train_record" [ v "base" + (v "r" * i 40); v "rate" ] ];
+            ];
+          ret_void;
+        ];
+      (* Argmax class prediction for the record at [rec]. *)
+      fn "predict" [ ("rec", I32) ] (Some I32)
+        [
+          call "forward" [ v "rec" ];
+          DeclS ("best", I32, Some (i 0));
+          for_ "j" (i 1) (i outputs)
+            [
+              if_
+                (CmpE
+                   ( Gt,
+                     fcell out_base (i in_plus_hidden + v "j"),
+                     fcell out_base (i in_plus_hidden + v "best") ))
+                [ set "best" (v "j") ]
+                [];
+            ];
+          ret (v "best");
+        ];
+      (* Classification accuracy over the dataset. *)
+      fn "accuracy" [ ("base", I32); ("n", I32) ] (Some F64)
+        [
+          DeclS ("hits", I32, Some (i 0));
+          for_ "r" (i 0) (v "n")
+            [
+              DeclS ("rec", I32, Some (v "base" + (v "r" * i 40)));
+              if_
+                (calle "predict" [ v "rec" ] = to_i32 (LoadE (F64, v "rec" + i 32)))
+                [ set "hits" (v "hits" + i 1) ]
+                [];
+            ];
+          ret (to_f64 (v "hits") / to_f64 (v "n"));
+        ];
+      (* Weight accessors so the host can seed identical initial
+         weights and cross-check trained ones. *)
+      fn "get_w" [ ("k", I32) ] (Some F64) [ ret (fcell w_base (v "k")) ];
+      fn "set_w" [ ("k", I32); ("x", F64) ] None [ fstore w_base (v "k") (v "x"); ret_void ];
+    ]
+
+let bytes ?mem_pages () = compile_to_bytes (program ?mem_pages ())
+
+(** Pages needed to hold a dataset of [n] bytes after the fixed layout. *)
+let pages_for_dataset n = Stdlib.( + ) (Stdlib.( / ) (Stdlib.( + ) dataset_base n) 65536) 1
+
+(* Host-side helpers, engine-agnostic via an invoke function and the
+   instance memory. *)
+
+let seed_weights ~invoke (weights : float array) =
+  Array.iteri
+    (fun k x ->
+      ignore (invoke "set_w" [ Watz_wasm.Ast.VI32 (Int32.of_int k); Watz_wasm.Ast.VF64 x ]))
+    weights
+
+let read_weights ~invoke =
+  Array.init n_weights (fun k ->
+      match invoke "get_w" [ Watz_wasm.Ast.VI32 (Int32.of_int k) ] with
+      | [ Watz_wasm.Ast.VF64 x ] -> x
+      | _ -> failwith "get_w: bad result")
+
+let write_dataset mem data = Watz_wasm.Instance.Memory.store_string mem dataset_base data
+
+let train ~invoke ~n_records ~epochs ~rate =
+  ignore
+    (invoke "train"
+       [
+         Watz_wasm.Ast.VI32 (Int32.of_int dataset_base);
+         Watz_wasm.Ast.VI32 (Int32.of_int n_records);
+         Watz_wasm.Ast.VI32 (Int32.of_int epochs);
+         Watz_wasm.Ast.VF64 rate;
+       ])
+
+let accuracy ~invoke ~n_records =
+  match
+    invoke "accuracy"
+      [ Watz_wasm.Ast.VI32 (Int32.of_int dataset_base); Watz_wasm.Ast.VI32 (Int32.of_int n_records) ]
+  with
+  | [ Watz_wasm.Ast.VF64 x ] -> x
+  | _ -> failwith "accuracy: bad result"

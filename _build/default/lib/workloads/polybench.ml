@@ -1,0 +1,2444 @@
+(** The PolyBench/C 4.2.1b suite (§VI-C, Fig. 5), reproduced in full:
+    every one of the 30 kernels exists twice — as native OCaml (the
+    baseline) and as a MiniC program compiled to Wasm — computing
+    bit-identical results from the same deterministic initialisation,
+    which the test suite asserts.
+
+    Problem sizes are scaled below the paper's MEDIUM dataset so the
+    whole Fig. 5 sweep (30 kernels x 3 execution tiers x repetitions)
+    runs in seconds; the native-vs-Wasm ratios, which is what Fig. 5
+    reports, are size-stable.
+
+    Each Wasm kernel exports [run : () -> f64] returning a checksum of
+    its output arrays; the native implementation returns the same. *)
+
+module M = Watz_wasmc.Minic
+open Watz_wasmc.Minic
+(* Only the AST module is opened file-wide; Dsl (which shadows the
+   arithmetic operators) is opened locally inside each Wasm program. *)
+
+type kernel = {
+  name : string;
+  category : string;
+  program : M.program;
+  native : unit -> float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared helpers *)
+
+(* Native flat-array indexing (mirrors the Wasm address arithmetic). *)
+let ix2 cols r c = (r * cols) + c
+
+(* Deterministic initial values, used identically on both sides:
+   v = ((i*j + c) mod m) / m as f64. *)
+let init2 i j c m = float_of_int (((i * j) + c) mod m) /. float_of_int m
+let init1 i c m = float_of_int ((i + c) mod m) /. float_of_int m
+
+(* Wasm-side equivalent of [init2]/[init1] (expressions over i32 vars,
+   producing f64). *)
+let winit2 vi vj c m =
+  let open M.Dsl in
+  to_f64 (((vi * vj) + i c) % i m) / to_f64 (i m)
+
+let winit1 vi c m =
+  let open M.Dsl in
+  to_f64 ((vi + i c) % i m) / to_f64 (i m)
+
+(* A Wasm f64 array at byte offset [base] (compile-time int). *)
+let pages_for bytes = (bytes / 65536) + 1
+
+let checksum_native (arrays : float array list) =
+  List.fold_left (fun acc a -> Array.fold_left ( +. ) acc a) 0.0 arrays
+
+(* Wasm checksum loop over [(base, len)] arrays, accumulating into
+   variable "cks" (declared by the caller). *)
+let wsum ~var arrays =
+  let open M.Dsl in
+  List.concat_map
+    (fun (base, len) ->
+      [ for_ ("q_" ^ string_of_int base) (i 0) (i len)
+          [ set var (v var + f64_get (i base) (v ("q_" ^ string_of_int base))) ] ])
+    arrays
+
+let run_fn body =
+  let open M.Dsl in
+  fn "run" [] (Some M.F64) body
+
+(* ------------------------------------------------------------------ *)
+(* gemm: C := alpha*A*B + beta*C  (NI x NK x NJ) *)
+
+let gemm =
+  let ni = 48 and nj = 48 and nk = 48 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = Array.init (ni * nk) (fun x -> init2 (x / nk) (x mod nk) 1 ni) in
+    let b = Array.init (nk * nj) (fun x -> init2 (x / nj) (x mod nj) 2 nj) in
+    let c = Array.init (ni * nj) (fun x -> init2 (x / nj) (x mod nj) 3 nk) in
+    for r = 0 to ni - 1 do
+      for cc = 0 to nj - 1 do
+        c.(ix2 nj r cc) <- c.(ix2 nj r cc) *. beta
+      done;
+      for k = 0 to nk - 1 do
+        for cc = 0 to nj - 1 do
+          c.(ix2 nj r cc) <- c.(ix2 nj r cc) +. (alpha *. a.(ix2 nk r k) *. b.(ix2 nj k cc))
+        done
+      done
+    done;
+    checksum_native [ c ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * ni * nk) in
+    let c_off = b_off + (8 * nk * nj) in
+    let total = c_off + (8 * ni * nj) in
+    let c_len = ni * nj in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "r" (i 0) (i ni)
+               [ for_ "k" (i 0) (i nk) [ f64_set2 (i a_off) (i nk) (v "r") (v "k") (winit2 (v "r") (v "k") 1 ni) ] ];
+             for_ "k" (i 0) (i nk)
+               [ for_ "c" (i 0) (i nj) [ f64_set2 (i b_off) (i nj) (v "k") (v "c") (winit2 (v "k") (v "c") 2 nj) ] ];
+             for_ "r" (i 0) (i ni)
+               [ for_ "c" (i 0) (i nj) [ f64_set2 (i c_off) (i nj) (v "r") (v "c") (winit2 (v "r") (v "c") 3 nk) ] ];
+             for_ "r" (i 0) (i ni)
+               [
+                 for_ "c" (i 0) (i nj)
+                   [
+                     f64_set2 (i c_off) (i nj) (v "r") (v "c")
+                       (f64_get2 (i c_off) (i nj) (v "r") (v "c") * f beta);
+                   ];
+                 for_ "k" (i 0) (i nk)
+                   [
+                     for_ "c" (i 0) (i nj)
+                       [
+                         f64_set2 (i c_off) (i nj) (v "r") (v "c")
+                           (f64_get2 (i c_off) (i nj) (v "r") (v "c")
+                           + (f alpha
+                             * f64_get2 (i a_off) (i nk) (v "r") (v "k")
+                             * f64_get2 (i b_off) (i nj) (v "k") (v "c")));
+                       ];
+                   ];
+               ];
+             DeclS ("cks", M.F64, Some (f 0.0));
+           ]
+          @ wsum ~var:"cks" [ (c_off, c_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "gemm"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* Shared init helper for the Wasm side: fill a rows x cols f64 array. *)
+
+let winit_2d base rows cols c m =
+  let open M.Dsl in
+  [
+    for_ "ii" (i 0) (i rows)
+      [ for_ "jj" (i 0) (i cols) [ f64_set2 (i base) (i cols) (v "ii") (v "jj") (winit2 (v "ii") (v "jj") c m) ] ];
+  ]
+
+let winit_1d base len c m =
+  let open M.Dsl in
+  [ for_ "ii" (i 0) (i len) [ f64_set (i base) (v "ii") (winit1 (v "ii") c m) ] ]
+
+let native_2d rows cols c m = Array.init (rows * cols) (fun x -> init2 (x / cols) (x mod cols) c m)
+let native_1d len c m = Array.init len (fun x -> init1 x c m)
+
+(* ------------------------------------------------------------------ *)
+(* 2mm: tmp := alpha*A*B; D := tmp*C + beta*D *)
+
+let k2mm =
+  let ni = 36 and nj = 36 and nk = 36 and nl = 36 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = native_2d ni nk 1 ni in
+    let b = native_2d nk nj 2 nj in
+    let c = native_2d nj nl 3 nl in
+    let d = native_2d ni nl 4 nk in
+    let tmp = Array.make (ni * nj) 0.0 in
+    for r = 0 to ni - 1 do
+      for cc = 0 to nj - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to nk - 1 do
+          acc := !acc +. (alpha *. a.(ix2 nk r k) *. b.(ix2 nj k cc))
+        done;
+        tmp.(ix2 nj r cc) <- !acc
+      done
+    done;
+    for r = 0 to ni - 1 do
+      for cc = 0 to nl - 1 do
+        d.(ix2 nl r cc) <- d.(ix2 nl r cc) *. beta;
+        for k = 0 to nj - 1 do
+          d.(ix2 nl r cc) <- d.(ix2 nl r cc) +. (tmp.(ix2 nj r k) *. c.(ix2 nl k cc))
+        done
+      done
+    done;
+    checksum_native [ d ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * ni * nk) in
+    let c_off = b_off + (8 * nk * nj) in
+    let d_off = c_off + (8 * nj * nl) in
+    let tmp_off = d_off + (8 * ni * nl) in
+    let total = tmp_off + (8 * ni * nj) in
+    let d_len = ni * nl in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off ni nk 1 ni @ winit_2d b_off nk nj 2 nj @ winit_2d c_off nj nl 3 nl
+          @ winit_2d d_off ni nl 4 nk
+          @ [
+              for_ "r" (i 0) (i ni)
+                [
+                  for_ "c" (i 0) (i nj)
+                    [
+                      DeclS ("acc", M.F64, Some (f 0.0));
+                      for_ "k" (i 0) (i nk)
+                        [
+                          set "acc"
+                            (v "acc"
+                            + (f alpha
+                              * f64_get2 (i a_off) (i nk) (v "r") (v "k")
+                              * f64_get2 (i b_off) (i nj) (v "k") (v "c")));
+                        ];
+                      f64_set2 (i tmp_off) (i nj) (v "r") (v "c") (v "acc");
+                    ];
+                ];
+              for_ "r" (i 0) (i ni)
+                [
+                  for_ "c" (i 0) (i nl)
+                    [
+                      f64_set2 (i d_off) (i nl) (v "r") (v "c")
+                        (f64_get2 (i d_off) (i nl) (v "r") (v "c") * f beta);
+                      for_ "k" (i 0) (i nj)
+                        [
+                          f64_set2 (i d_off) (i nl) (v "r") (v "c")
+                            (f64_get2 (i d_off) (i nl) (v "r") (v "c")
+                            + (f64_get2 (i tmp_off) (i nj) (v "r") (v "k")
+                              * f64_get2 (i c_off) (i nl) (v "k") (v "c")));
+                        ];
+                    ];
+                ];
+              DeclS ("cks", M.F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (d_off, d_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "2mm"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* 3mm: E := A*B; F := C*D; G := E*F *)
+
+let k3mm =
+  let n = 32 in
+  let native () =
+    let a = native_2d n n 1 n in
+    let b = native_2d n n 2 n in
+    let c = native_2d n n 3 n in
+    let d = native_2d n n 4 n in
+    let mm x y =
+      let out = Array.make (n * n) 0.0 in
+      for r = 0 to n - 1 do
+        for cc = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for k = 0 to n - 1 do
+            acc := !acc +. (x.(ix2 n r k) *. y.(ix2 n k cc))
+          done;
+          out.(ix2 n r cc) <- !acc
+        done
+      done;
+      out
+    in
+    let e = mm a b in
+    let fm = mm c d in
+    let g = mm e fm in
+    checksum_native [ g ]
+  in
+  let program =
+    let sz = 8 * n * n in
+    let a_off = 0 and b_off = sz in
+    let c_off = 2 * sz and d_off = 3 * sz in
+    let e_off = 4 * sz and f_off = 5 * sz and g_off = 6 * sz in
+    let total = 7 * sz in
+    let g_len = n * n in
+    let open M.Dsl in
+    let mm x y out : M.stmt list =
+      [
+        for_ "r" (i 0) (i n)
+          [
+            for_ "c" (i 0) (i n)
+              [
+                set "acc" (f 0.0);
+                for_ "k" (i 0) (i n)
+                  [
+                    set "acc"
+                      (v "acc"
+                      + (f64_get2 (i x) (i n) (v "r") (v "k") * f64_get2 (i y) (i n) (v "k") (v "c")));
+                  ];
+                f64_set2 (i out) (i n) (v "r") (v "c") (v "acc");
+              ];
+          ];
+      ]
+    in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n n 1 n @ winit_2d b_off n n 2 n @ winit_2d c_off n n 3 n
+          @ winit_2d d_off n n 4 n
+          @ [ DeclS ("acc", M.F64, Some (f 0.0)) ]
+          @ mm a_off b_off e_off @ mm c_off d_off f_off @ mm e_off f_off g_off
+          @ [ DeclS ("cks", M.F64, Some (f 0.0)) ]
+          @ wsum ~var:"cks" [ (g_off, g_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "3mm"; category = "blas"; program; native }
+
+
+(* ------------------------------------------------------------------ *)
+(* atax: y := A^T (A x) *)
+
+let atax =
+  let m_rows = 90 and n_cols = 90 in
+  let native () =
+    let a = native_2d m_rows n_cols 1 n_cols in
+    let x = native_1d n_cols 2 n_cols in
+    let y = Array.make n_cols 0.0 in
+    let tmp = Array.make m_rows 0.0 in
+    for r = 0 to m_rows - 1 do
+      let acc = ref 0.0 in
+      for c = 0 to n_cols - 1 do
+        acc := !acc +. (a.(ix2 n_cols r c) *. x.(c))
+      done;
+      tmp.(r) <- !acc;
+      for c = 0 to n_cols - 1 do
+        y.(c) <- y.(c) +. (a.(ix2 n_cols r c) *. tmp.(r))
+      done
+    done;
+    checksum_native [ y ]
+  in
+  let program =
+    let a_off = 0 in
+    let x_off = a_off + (8 * m_rows * n_cols) in
+    let y_off = x_off + (8 * n_cols) in
+    let tmp_off = y_off + (8 * n_cols) in
+    let total = tmp_off + (8 * m_rows) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off m_rows n_cols 1 n_cols @ winit_1d x_off n_cols 2 n_cols
+          @ [
+              for_ "z" (i 0) (i n_cols) [ f64_set (i y_off) (v "z") (f 0.0) ];
+              for_ "r" (i 0) (i m_rows)
+                [
+                  DeclS ("acc", F64, Some (f 0.0));
+                  for_ "c" (i 0) (i n_cols)
+                    [
+                      set "acc"
+                        (v "acc" + (f64_get2 (i a_off) (i n_cols) (v "r") (v "c") * f64_get (i x_off) (v "c")));
+                    ];
+                  f64_set (i tmp_off) (v "r") (v "acc");
+                  for_ "c" (i 0) (i n_cols)
+                    [
+                      f64_set (i y_off) (v "c")
+                        (f64_get (i y_off) (v "c")
+                        + (f64_get2 (i a_off) (i n_cols) (v "r") (v "c") * f64_get (i tmp_off) (v "r")));
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (y_off, n_cols) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "atax"; category = "kernels"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* bicg: s := A^T r ; q := A p *)
+
+let bicg =
+  let n = 90 and m = 90 in
+  let native () =
+    let a = native_2d n m 1 m in
+    let p = native_1d m 2 m in
+    let r = native_1d n 3 n in
+    let s = Array.make m 0.0 in
+    let q = Array.make n 0.0 in
+    for row = 0 to n - 1 do
+      let accq = ref 0.0 in
+      for c = 0 to m - 1 do
+        s.(c) <- s.(c) +. (r.(row) *. a.(ix2 m row c));
+        accq := !accq +. (a.(ix2 m row c) *. p.(c))
+      done;
+      q.(row) <- !accq
+    done;
+    checksum_native [ s; q ]
+  in
+  let program =
+    let a_off = 0 in
+    let p_off = a_off + (8 * n * m) in
+    let r_off = p_off + (8 * m) in
+    let s_off = r_off + (8 * n) in
+    let q_off = s_off + (8 * m) in
+    let total = q_off + (8 * n) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n m 1 m @ winit_1d p_off m 2 m @ winit_1d r_off n 3 n
+          @ [
+              for_ "z" (i 0) (i m) [ f64_set (i s_off) (v "z") (f 0.0) ];
+              for_ "row" (i 0) (i n)
+                [
+                  DeclS ("accq", F64, Some (f 0.0));
+                  for_ "c" (i 0) (i m)
+                    [
+                      f64_set (i s_off) (v "c")
+                        (f64_get (i s_off) (v "c")
+                        + (f64_get (i r_off) (v "row") * f64_get2 (i a_off) (i m) (v "row") (v "c")));
+                      set "accq"
+                        (v "accq" + (f64_get2 (i a_off) (i m) (v "row") (v "c") * f64_get (i p_off) (v "c")));
+                    ];
+                  f64_set (i q_off) (v "row") (v "accq");
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (s_off, m); (q_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "bicg"; category = "kernels"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* mvt: x1 += A y1 ; x2 += A^T y2 *)
+
+let mvt =
+  let n = 100 in
+  let native () =
+    let a = native_2d n n 1 n in
+    let x1 = native_1d n 2 n in
+    let x2 = native_1d n 3 n in
+    let y1 = native_1d n 4 n in
+    let y2 = native_1d n 5 n in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        x1.(r) <- x1.(r) +. (a.(ix2 n r c) *. y1.(c))
+      done
+    done;
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        x2.(r) <- x2.(r) +. (a.(ix2 n c r) *. y2.(c))
+      done
+    done;
+    checksum_native [ x1; x2 ]
+  in
+  let program =
+    let a_off = 0 in
+    let x1_off = a_off + (8 * n * n) in
+    let x2_off = x1_off + (8 * n) in
+    let y1_off = x2_off + (8 * n) in
+    let y2_off = y1_off + (8 * n) in
+    let total = y2_off + (8 * n) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n n 1 n @ winit_1d x1_off n 2 n @ winit_1d x2_off n 3 n
+          @ winit_1d y1_off n 4 n @ winit_1d y2_off n 5 n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "c" (i 0) (i n)
+                    [
+                      f64_set (i x1_off) (v "r")
+                        (f64_get (i x1_off) (v "r")
+                        + (f64_get2 (i a_off) (i n) (v "r") (v "c") * f64_get (i y1_off) (v "c")));
+                    ];
+                ];
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "c" (i 0) (i n)
+                    [
+                      f64_set (i x2_off) (v "r")
+                        (f64_get (i x2_off) (v "r")
+                        + (f64_get2 (i a_off) (i n) (v "c") (v "r") * f64_get (i y2_off) (v "c")));
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (x1_off, n); (x2_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "mvt"; category = "kernels"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* gesummv: y := alpha*A*x + beta*B*x *)
+
+let gesummv =
+  let n = 90 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = native_2d n n 1 n in
+    let b = native_2d n n 2 n in
+    let x = native_1d n 3 n in
+    let y = Array.make n 0.0 in
+    for r = 0 to n - 1 do
+      let t = ref 0.0 and u = ref 0.0 in
+      for c = 0 to n - 1 do
+        t := !t +. (a.(ix2 n r c) *. x.(c));
+        u := !u +. (b.(ix2 n r c) *. x.(c))
+      done;
+      y.(r) <- (alpha *. !t) +. (beta *. !u)
+    done;
+    checksum_native [ y ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * n * n) in
+    let x_off = b_off + (8 * n * n) in
+    let y_off = x_off + (8 * n) in
+    let total = y_off + (8 * n) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n n 1 n @ winit_2d b_off n n 2 n @ winit_1d x_off n 3 n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  DeclS ("t", F64, Some (f 0.0));
+                  DeclS ("u", F64, Some (f 0.0));
+                  for_ "c" (i 0) (i n)
+                    [
+                      set "t" (v "t" + (f64_get2 (i a_off) (i n) (v "r") (v "c") * f64_get (i x_off) (v "c")));
+                      set "u" (v "u" + (f64_get2 (i b_off) (i n) (v "r") (v "c") * f64_get (i x_off) (v "c")));
+                    ];
+                  f64_set (i y_off) (v "r") ((f alpha * v "t") + (f beta * v "u"));
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (y_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "gesummv"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* gemver: A += u1 v1^T + u2 v2^T ; x = beta A^T y + z ; w = alpha A x *)
+
+let gemver =
+  let n = 90 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = native_2d n n 1 n in
+    let u1 = native_1d n 2 n and v1 = native_1d n 3 n in
+    let u2 = native_1d n 4 n and v2 = native_1d n 5 n in
+    let y = native_1d n 6 n and z = native_1d n 7 n in
+    let x = Array.make n 0.0 and w = Array.make n 0.0 in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        a.(ix2 n r c) <- a.(ix2 n r c) +. (u1.(r) *. v1.(c)) +. (u2.(r) *. v2.(c))
+      done
+    done;
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        x.(r) <- x.(r) +. (beta *. a.(ix2 n c r) *. y.(c))
+      done
+    done;
+    for r = 0 to n - 1 do
+      x.(r) <- x.(r) +. z.(r)
+    done;
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        w.(r) <- w.(r) +. (alpha *. a.(ix2 n r c) *. x.(c))
+      done
+    done;
+    checksum_native [ w ]
+  in
+  let program =
+    let a_off = 0 in
+    let u1_off = a_off + (8 * n * n) in
+    let v1_off = u1_off + (8 * n) in
+    let u2_off = v1_off + (8 * n) in
+    let v2_off = u2_off + (8 * n) in
+    let y_off = v2_off + (8 * n) in
+    let z_off = y_off + (8 * n) in
+    let x_off = z_off + (8 * n) in
+    let w_off = x_off + (8 * n) in
+    let total = w_off + (8 * n) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n n 1 n @ winit_1d u1_off n 2 n @ winit_1d v1_off n 3 n
+          @ winit_1d u2_off n 4 n @ winit_1d v2_off n 5 n @ winit_1d y_off n 6 n
+          @ winit_1d z_off n 7 n
+          @ [
+              for_ "z9" (i 0) (i n)
+                [ f64_set (i x_off) (v "z9") (f 0.0); f64_set (i w_off) (v "z9") (f 0.0) ];
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "c" (i 0) (i n)
+                    [
+                      f64_set2 (i a_off) (i n) (v "r") (v "c")
+                        (f64_get2 (i a_off) (i n) (v "r") (v "c")
+                        + (f64_get (i u1_off) (v "r") * f64_get (i v1_off) (v "c"))
+                        + (f64_get (i u2_off) (v "r") * f64_get (i v2_off) (v "c")));
+                    ];
+                ];
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "c" (i 0) (i n)
+                    [
+                      f64_set (i x_off) (v "r")
+                        (f64_get (i x_off) (v "r")
+                        + (f beta * f64_get2 (i a_off) (i n) (v "c") (v "r") * f64_get (i y_off) (v "c")));
+                    ];
+                ];
+              for_ "r" (i 0) (i n)
+                [ f64_set (i x_off) (v "r") (f64_get (i x_off) (v "r") + f64_get (i z_off) (v "r")) ];
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "c" (i 0) (i n)
+                    [
+                      f64_set (i w_off) (v "r")
+                        (f64_get (i w_off) (v "r")
+                        + (f alpha * f64_get2 (i a_off) (i n) (v "r") (v "c") * f64_get (i x_off) (v "c")));
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (w_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "gemver"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* doitgen: A[r][q][*] := A[r][q][*] . C4 *)
+
+let doitgen =
+  let nr = 16 and nq = 16 and np = 16 in
+  let native () =
+    let a = Array.init (nr * nq * np) (fun x -> init2 (x / np) (x mod np) 1 np) in
+    let c4 = native_2d np np 2 np in
+    let sum = Array.make np 0.0 in
+    for r = 0 to nr - 1 do
+      for q = 0 to nq - 1 do
+        for p = 0 to np - 1 do
+          let acc = ref 0.0 in
+          for s = 0 to np - 1 do
+            acc := !acc +. (a.((((r * nq) + q) * np) + s) *. c4.(ix2 np s p))
+          done;
+          sum.(p) <- !acc
+        done;
+        for p = 0 to np - 1 do
+          a.((((r * nq) + q) * np) + p) <- sum.(p)
+        done
+      done
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a_off = 0 in
+    let c4_off = a_off + (8 * nr * nq * np) in
+    let sum_off = c4_off + (8 * np * np) in
+    let total = sum_off + (8 * np) in
+    let a_len = nr * nq * np in
+    let open M.Dsl in
+    (* A[r][q][s] flattened: ((r*nq + q)*np + s). *)
+    let a3 r q s = f64_get (i a_off) ((((r * i nq) + q) * i np) + s) in
+    let a3_set r q s value = f64_set (i a_off) ((((r * i nq) + q) * i np) + s) value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "x" (i 0) (i a_len)
+               [ f64_set (i a_off) (v "x") (winit2 (v "x" / i np) (v "x" % i np) 1 np) ];
+           ]
+          @ winit_2d c4_off np np 2 np
+          @ [
+              for_ "r" (i 0) (i nr)
+                [
+                  for_ "q" (i 0) (i nq)
+                    [
+                      for_ "p" (i 0) (i np)
+                        [
+                          DeclS ("acc", F64, Some (f 0.0));
+                          for_ "s" (i 0) (i np)
+                            [
+                              set "acc"
+                                (v "acc"
+                                + (a3 (v "r") (v "q") (v "s") * f64_get2 (i c4_off) (i np) (v "s") (v "p")));
+                            ];
+                          f64_set (i sum_off) (v "p") (v "acc");
+                        ];
+                      for_ "p" (i 0) (i np)
+                        [ a3_set (v "r") (v "q") (v "p") (f64_get (i sum_off) (v "p")) ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (a_off, a_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "doitgen"; category = "kernels"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* syrk: C := alpha*A*A^T + beta*C (lower triangle) *)
+
+let syrk =
+  let n = 44 and m = 44 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = native_2d n m 1 m in
+    let c = native_2d n n 2 n in
+    for r = 0 to n - 1 do
+      for j = 0 to r do
+        c.(ix2 n r j) <- c.(ix2 n r j) *. beta
+      done;
+      for k = 0 to m - 1 do
+        for j = 0 to r do
+          c.(ix2 n r j) <- c.(ix2 n r j) +. (alpha *. a.(ix2 m r k) *. a.(ix2 m j k))
+        done
+      done
+    done;
+    checksum_native [ c ]
+  in
+  let program =
+    let a_off = 0 in
+    let c_off = a_off + (8 * n * m) in
+    let total = c_off + (8 * n * n) in
+    let c_len = n * n in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n m 1 m @ winit_2d c_off n n 2 n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "j" (i 0) (v "r" + i 1)
+                    [
+                      f64_set2 (i c_off) (i n) (v "r") (v "j")
+                        (f64_get2 (i c_off) (i n) (v "r") (v "j") * f beta);
+                    ];
+                  for_ "k" (i 0) (i m)
+                    [
+                      for_ "j" (i 0) (v "r" + i 1)
+                        [
+                          f64_set2 (i c_off) (i n) (v "r") (v "j")
+                            (f64_get2 (i c_off) (i n) (v "r") (v "j")
+                            + (f alpha
+                              * f64_get2 (i a_off) (i m) (v "r") (v "k")
+                              * f64_get2 (i a_off) (i m) (v "j") (v "k")));
+                        ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (c_off, c_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "syrk"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* syr2k: C := alpha*(A*B^T + B*A^T) + beta*C (lower triangle) *)
+
+let syr2k =
+  let n = 40 and m = 40 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = native_2d n m 1 m in
+    let b = native_2d n m 2 m in
+    let c = native_2d n n 3 n in
+    for r = 0 to n - 1 do
+      for j = 0 to r do
+        c.(ix2 n r j) <- c.(ix2 n r j) *. beta
+      done;
+      for k = 0 to m - 1 do
+        for j = 0 to r do
+          c.(ix2 n r j) <-
+            c.(ix2 n r j)
+            +. (a.(ix2 m j k) *. alpha *. b.(ix2 m r k))
+            +. (b.(ix2 m j k) *. alpha *. a.(ix2 m r k))
+        done
+      done
+    done;
+    checksum_native [ c ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * n * m) in
+    let c_off = b_off + (8 * n * m) in
+    let total = c_off + (8 * n * n) in
+    let c_len = n * n in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n m 1 m @ winit_2d b_off n m 2 m @ winit_2d c_off n n 3 n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "j" (i 0) (v "r" + i 1)
+                    [
+                      f64_set2 (i c_off) (i n) (v "r") (v "j")
+                        (f64_get2 (i c_off) (i n) (v "r") (v "j") * f beta);
+                    ];
+                  for_ "k" (i 0) (i m)
+                    [
+                      for_ "j" (i 0) (v "r" + i 1)
+                        [
+                          f64_set2 (i c_off) (i n) (v "r") (v "j")
+                            (f64_get2 (i c_off) (i n) (v "r") (v "j")
+                            + (f64_get2 (i a_off) (i m) (v "j") (v "k") * f alpha
+                              * f64_get2 (i b_off) (i m) (v "r") (v "k"))
+                            + (f64_get2 (i b_off) (i m) (v "j") (v "k") * f alpha
+                              * f64_get2 (i a_off) (i m) (v "r") (v "k")));
+                        ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (c_off, c_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "syr2k"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* symm: C := alpha*A*B + beta*C with symmetric A (PolyBench variant) *)
+
+let symm =
+  let m = 40 and n = 40 in
+  let alpha = 1.5 and beta = 1.2 in
+  let native () =
+    let a = native_2d m m 1 m in
+    let b = native_2d m n 2 n in
+    let c = native_2d m n 3 n in
+    for r = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        let temp2 = ref 0.0 in
+        for k = 0 to r - 1 do
+          c.(ix2 n k j) <- c.(ix2 n k j) +. (alpha *. b.(ix2 n r j) *. a.(ix2 m r k));
+          temp2 := !temp2 +. (b.(ix2 n k j) *. a.(ix2 m r k))
+        done;
+        c.(ix2 n r j) <-
+          (beta *. c.(ix2 n r j)) +. (alpha *. b.(ix2 n r j) *. a.(ix2 m r r))
+          +. (alpha *. !temp2)
+      done
+    done;
+    checksum_native [ c ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * m * m) in
+    let c_off = b_off + (8 * m * n) in
+    let total = c_off + (8 * m * n) in
+    let c_len = m * n in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off m m 1 m @ winit_2d b_off m n 2 n @ winit_2d c_off m n 3 n
+          @ [
+              for_ "r" (i 0) (i m)
+                [
+                  for_ "j" (i 0) (i n)
+                    [
+                      DeclS ("temp2", F64, Some (f 0.0));
+                      for_ "k" (i 0) (v "r")
+                        [
+                          f64_set2 (i c_off) (i n) (v "k") (v "j")
+                            (f64_get2 (i c_off) (i n) (v "k") (v "j")
+                            + (f alpha
+                              * f64_get2 (i b_off) (i n) (v "r") (v "j")
+                              * f64_get2 (i a_off) (i m) (v "r") (v "k")));
+                          set "temp2"
+                            (v "temp2"
+                            + (f64_get2 (i b_off) (i n) (v "k") (v "j")
+                              * f64_get2 (i a_off) (i m) (v "r") (v "k")));
+                        ];
+                      f64_set2 (i c_off) (i n) (v "r") (v "j")
+                        ((f beta * f64_get2 (i c_off) (i n) (v "r") (v "j"))
+                        + (f alpha
+                          * f64_get2 (i b_off) (i n) (v "r") (v "j")
+                          * f64_get2 (i a_off) (i m) (v "r") (v "r"))
+                        + (f alpha * v "temp2"));
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (c_off, c_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "symm"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* trmm: B := alpha*A*B, A unit lower triangular *)
+
+let trmm =
+  let m = 40 and n = 40 in
+  let alpha = 1.5 in
+  let native () =
+    let a = native_2d m m 1 m in
+    let b = native_2d m n 2 n in
+    for r = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        for k = r + 1 to m - 1 do
+          b.(ix2 n r j) <- b.(ix2 n r j) +. (a.(ix2 m k r) *. b.(ix2 n k j))
+        done;
+        b.(ix2 n r j) <- alpha *. b.(ix2 n r j)
+      done
+    done;
+    checksum_native [ b ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * m * m) in
+    let total = b_off + (8 * m * n) in
+    let b_len = m * n in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off m m 1 m @ winit_2d b_off m n 2 n
+          @ [
+              for_ "r" (i 0) (i m)
+                [
+                  for_ "j" (i 0) (i n)
+                    [
+                      for_ "k" (v "r" + i 1) (i m)
+                        [
+                          f64_set2 (i b_off) (i n) (v "r") (v "j")
+                            (f64_get2 (i b_off) (i n) (v "r") (v "j")
+                            + (f64_get2 (i a_off) (i m) (v "k") (v "r")
+                              * f64_get2 (i b_off) (i n) (v "k") (v "j")));
+                        ];
+                      f64_set2 (i b_off) (i n) (v "r") (v "j")
+                        (f alpha * f64_get2 (i b_off) (i n) (v "r") (v "j"));
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (b_off, b_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "trmm"; category = "blas"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* Solvers share a symmetric positive-definite input: B = A_0 A_0^T +
+   n*I, built identically on both sides. *)
+
+let spd_native n =
+  let a0 = native_2d n n 1 n in
+  let b = Array.make (n * n) 0.0 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a0.(ix2 n r k) *. a0.(ix2 n c k))
+      done;
+      b.(ix2 n r c) <- (if r = c then !acc +. float_of_int n else !acc)
+    done
+  done;
+  b
+
+(* Wasm statements building the same SPD matrix at [b_off], using
+   scratch [a0_off]. *)
+let spd_wasm ~a0_off ~b_off n : M.stmt list =
+  let open M.Dsl in
+  winit_2d a0_off n n 1 n
+  @ [
+      for_ "r" (i 0) (i n)
+        [
+          for_ "c" (i 0) (i n)
+            [
+              DeclS ("acc", F64, Some (f 0.0));
+              for_ "k" (i 0) (i n)
+                [
+                  set "acc"
+                    (v "acc"
+                    + (f64_get2 (i a0_off) (i n) (v "r") (v "k")
+                      * f64_get2 (i a0_off) (i n) (v "c") (v "k")));
+                ];
+              f64_set2 (i b_off) (i n) (v "r") (v "c")
+                (TernE (v "r" = v "c", v "acc" + to_f64 (i n), v "acc"));
+            ];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* cholesky *)
+
+let cholesky =
+  let n = 40 in
+  let native () =
+    let a = spd_native n in
+    for r = 0 to n - 1 do
+      for j = 0 to r - 1 do
+        for k = 0 to j - 1 do
+          a.(ix2 n r j) <- a.(ix2 n r j) -. (a.(ix2 n r k) *. a.(ix2 n j k))
+        done;
+        a.(ix2 n r j) <- a.(ix2 n r j) /. a.(ix2 n j j)
+      done;
+      for k = 0 to r - 1 do
+        a.(ix2 n r r) <- a.(ix2 n r r) -. (a.(ix2 n r k) *. a.(ix2 n r k))
+      done;
+      a.(ix2 n r r) <- sqrt a.(ix2 n r r)
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a0_off = 0 in
+    let a_off = a0_off + (8 * n * n) in
+    let total = a_off + (8 * n * n) in
+    let a_len = n * n in
+    let open M.Dsl in
+    let ag r c = f64_get2 (i a_off) (i n) r c in
+    let aset r c value = f64_set2 (i a_off) (i n) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (spd_wasm ~a0_off ~b_off:a_off n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "j" (i 0) (v "r")
+                    [
+                      for_ "k" (i 0) (v "j")
+                        [ aset (v "r") (v "j") (ag (v "r") (v "j") - (ag (v "r") (v "k") * ag (v "j") (v "k"))) ];
+                      aset (v "r") (v "j") (ag (v "r") (v "j") / ag (v "j") (v "j"));
+                    ];
+                  for_ "k" (i 0) (v "r")
+                    [ aset (v "r") (v "r") (ag (v "r") (v "r") - (ag (v "r") (v "k") * ag (v "r") (v "k"))) ];
+                  aset (v "r") (v "r") (SqrtE (ag (v "r") (v "r")));
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (a_off, a_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "cholesky"; category = "solvers"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* lu *)
+
+let lu =
+  let n = 40 in
+  let native () =
+    let a = spd_native n in
+    for r = 0 to n - 1 do
+      for j = 0 to r - 1 do
+        for k = 0 to j - 1 do
+          a.(ix2 n r j) <- a.(ix2 n r j) -. (a.(ix2 n r k) *. a.(ix2 n k j))
+        done;
+        a.(ix2 n r j) <- a.(ix2 n r j) /. a.(ix2 n j j)
+      done;
+      for j = r to n - 1 do
+        for k = 0 to r - 1 do
+          a.(ix2 n r j) <- a.(ix2 n r j) -. (a.(ix2 n r k) *. a.(ix2 n k j))
+        done
+      done
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a0_off = 0 in
+    let a_off = a0_off + (8 * n * n) in
+    let total = a_off + (8 * n * n) in
+    let a_len = n * n in
+    let open M.Dsl in
+    let ag r c = f64_get2 (i a_off) (i n) r c in
+    let aset r c value = f64_set2 (i a_off) (i n) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (spd_wasm ~a0_off ~b_off:a_off n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "j" (i 0) (v "r")
+                    [
+                      for_ "k" (i 0) (v "j")
+                        [ aset (v "r") (v "j") (ag (v "r") (v "j") - (ag (v "r") (v "k") * ag (v "k") (v "j"))) ];
+                      aset (v "r") (v "j") (ag (v "r") (v "j") / ag (v "j") (v "j"));
+                    ];
+                  for_ "j" (v "r") (i n)
+                    [
+                      for_ "k" (i 0) (v "r")
+                        [ aset (v "r") (v "j") (ag (v "r") (v "j") - (ag (v "r") (v "k") * ag (v "k") (v "j"))) ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (a_off, a_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "lu"; category = "solvers"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* ludcmp: LU decomposition + forward/backward substitution *)
+
+let ludcmp =
+  let n = 36 in
+  let native () =
+    let a = spd_native n in
+    let b = native_1d n 2 n in
+    let y = Array.make n 0.0 and x = Array.make n 0.0 in
+    for r = 0 to n - 1 do
+      for j = 0 to r - 1 do
+        let w = ref a.(ix2 n r j) in
+        for k = 0 to j - 1 do
+          w := !w -. (a.(ix2 n r k) *. a.(ix2 n k j))
+        done;
+        a.(ix2 n r j) <- !w /. a.(ix2 n j j)
+      done;
+      for j = r to n - 1 do
+        let w = ref a.(ix2 n r j) in
+        for k = 0 to r - 1 do
+          w := !w -. (a.(ix2 n r k) *. a.(ix2 n k j))
+        done;
+        a.(ix2 n r j) <- !w
+      done
+    done;
+    for r = 0 to n - 1 do
+      let w = ref b.(r) in
+      for j = 0 to r - 1 do
+        w := !w -. (a.(ix2 n r j) *. y.(j))
+      done;
+      y.(r) <- !w
+    done;
+    for r = n - 1 downto 0 do
+      let w = ref y.(r) in
+      for j = r + 1 to n - 1 do
+        w := !w -. (a.(ix2 n r j) *. x.(j))
+      done;
+      x.(r) <- !w /. a.(ix2 n r r)
+    done;
+    checksum_native [ x ]
+  in
+  let program =
+    let a0_off = 0 in
+    let a_off = a0_off + (8 * n * n) in
+    let b_off = a_off + (8 * n * n) in
+    let y_off = b_off + (8 * n) in
+    let x_off = y_off + (8 * n) in
+    let total = x_off + (8 * n) in
+    let open M.Dsl in
+    let ag r c = f64_get2 (i a_off) (i n) r c in
+    let aset r c value = f64_set2 (i a_off) (i n) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (spd_wasm ~a0_off ~b_off:a_off n @ winit_1d b_off n 2 n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  for_ "j" (i 0) (v "r")
+                    [
+                      DeclS ("w", F64, Some (ag (v "r") (v "j")));
+                      for_ "k" (i 0) (v "j")
+                        [ set "w" (v "w" - (ag (v "r") (v "k") * ag (v "k") (v "j"))) ];
+                      aset (v "r") (v "j") (v "w" / ag (v "j") (v "j"));
+                    ];
+                  for_ "j" (v "r") (i n)
+                    [
+                      set "w" (ag (v "r") (v "j"));
+                      for_ "k" (i 0) (v "r")
+                        [ set "w" (v "w" - (ag (v "r") (v "k") * ag (v "k") (v "j"))) ];
+                      aset (v "r") (v "j") (v "w");
+                    ];
+                ];
+              for_ "r" (i 0) (i n)
+                [
+                  set "w" (f64_get (i b_off) (v "r"));
+                  for_ "j" (i 0) (v "r")
+                    [ set "w" (v "w" - (ag (v "r") (v "j") * f64_get (i y_off) (v "j"))) ];
+                  f64_set (i y_off) (v "r") (v "w");
+                ];
+              (* backward loop via r2 = n-1-r *)
+              for_ "r2" (i 0) (i n)
+                [
+                  DeclS ("rr", M.I32, Some (i n - i 1 - v "r2"));
+                  set "w" (f64_get (i y_off) (v "rr"));
+                  for_ "j2" (v "rr" + i 1) (i n)
+                    [ set "w" (v "w" - (ag (v "rr") (v "j2") * f64_get (i x_off) (v "j2"))) ];
+                  f64_set (i x_off) (v "rr") (v "w" / ag (v "rr") (v "rr"));
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (x_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "ludcmp"; category = "solvers"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* trisolv: L x = b *)
+
+let trisolv =
+  let n = 120 in
+  let native () =
+    (* L[i][j] = (i + n - j + 1) * 2 / n for j <= i. *)
+    let l = Array.make (n * n) 0.0 in
+    for r = 0 to n - 1 do
+      for c = 0 to r do
+        l.(ix2 n r c) <- float_of_int ((r + n) - c + 1) *. 2.0 /. float_of_int n
+      done
+    done;
+    let b = native_1d n 2 n in
+    let x = Array.make n 0.0 in
+    for r = 0 to n - 1 do
+      x.(r) <- b.(r);
+      for j = 0 to r - 1 do
+        x.(r) <- x.(r) -. (l.(ix2 n r j) *. x.(j))
+      done;
+      x.(r) <- x.(r) /. l.(ix2 n r r)
+    done;
+    checksum_native [ x ]
+  in
+  let program =
+    let l_off = 0 in
+    let b_off = l_off + (8 * n * n) in
+    let x_off = b_off + (8 * n) in
+    let total = x_off + (8 * n) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "r" (i 0) (i n)
+               [
+                 for_ "c" (i 0) (v "r" + i 1)
+                   [
+                     f64_set2 (i l_off) (i n) (v "r") (v "c")
+                       (to_f64 (v "r" + i n - v "c" + i 1) * f 2.0 / to_f64 (i n));
+                   ];
+               ];
+           ]
+          @ winit_1d b_off n 2 n
+          @ [
+              for_ "r" (i 0) (i n)
+                [
+                  f64_set (i x_off) (v "r") (f64_get (i b_off) (v "r"));
+                  for_ "j" (i 0) (v "r")
+                    [
+                      f64_set (i x_off) (v "r")
+                        (f64_get (i x_off) (v "r")
+                        - (f64_get2 (i l_off) (i n) (v "r") (v "j") * f64_get (i x_off) (v "j")));
+                    ];
+                  f64_set (i x_off) (v "r")
+                    (f64_get (i x_off) (v "r") / f64_get2 (i l_off) (i n) (v "r") (v "r"));
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (x_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "trisolv"; category = "solvers"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* durbin: Toeplitz system solver *)
+
+let durbin =
+  let n = 120 in
+  let native () =
+    let r = Array.init n (fun k -> float_of_int (n + 1 - k)) in
+    let y = Array.make n 0.0 and z = Array.make n 0.0 in
+    y.(0) <- -.r.(0);
+    let beta = ref 1.0 and alpha = ref (-.r.(0)) in
+    for k = 1 to n - 1 do
+      beta := (1.0 -. (!alpha *. !alpha)) *. !beta;
+      let sum = ref 0.0 in
+      for idx = 0 to k - 1 do
+        sum := !sum +. (r.(k - idx - 1) *. y.(idx))
+      done;
+      alpha := -.(r.(k) +. !sum) /. !beta;
+      for idx = 0 to k - 1 do
+        z.(idx) <- y.(idx) +. (!alpha *. y.(k - idx - 1))
+      done;
+      for idx = 0 to k - 1 do
+        y.(idx) <- z.(idx)
+      done;
+      y.(k) <- !alpha
+    done;
+    checksum_native [ y ]
+  in
+  let program =
+    let r_off = 0 in
+    let y_off = r_off + (8 * n) in
+    let z_off = y_off + (8 * n) in
+    let total = z_off + (8 * n) in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+            for_ "q" (i 0) (i n) [ f64_set (i r_off) (v "q") (to_f64 (i n + i 1 - v "q")) ];
+            f64_set (i y_off) (i 0) (NegE (f64_get (i r_off) (i 0)));
+            DeclS ("beta", F64, Some (f 1.0));
+            DeclS ("alpha", F64, Some (NegE (f64_get (i r_off) (i 0))));
+            for_ "k" (i 1) (i n)
+              [
+                set "beta" ((f 1.0 - (v "alpha" * v "alpha")) * v "beta");
+                DeclS ("sum", F64, Some (f 0.0));
+                for_ "idx" (i 0) (v "k")
+                  [
+                    set "sum"
+                      (v "sum" + (f64_get (i r_off) (v "k" - v "idx" - i 1) * f64_get (i y_off) (v "idx")));
+                  ];
+                set "alpha" (NegE (f64_get (i r_off) (v "k") + v "sum") / v "beta");
+                for_ "idx" (i 0) (v "k")
+                  [
+                    f64_set (i z_off) (v "idx")
+                      (f64_get (i y_off) (v "idx") + (v "alpha" * f64_get (i y_off) (v "k" - v "idx" - i 1)));
+                  ];
+                for_ "idx" (i 0) (v "k")
+                  [ f64_set (i y_off) (v "idx") (f64_get (i z_off) (v "idx")) ];
+                f64_set (i y_off) (v "k") (v "alpha");
+              ];
+            DeclS ("cks", F64, Some (f 0.0));
+          ]
+          @ wsum ~var:"cks" [ (y_off, n) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "durbin"; category = "solvers"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* gramschmidt: QR factorisation *)
+
+let gramschmidt =
+  let m = 36 and n = 36 in
+  (* Entries offset away from zero so column norms never vanish. *)
+  let ginit r c = (init2 r c 1 n *. 100.0) +. 10.0 in
+  let native () =
+    let a = Array.init (m * n) (fun x -> ginit (x / n) (x mod n)) in
+    let q = Array.make (m * n) 0.0 in
+    let rr = Array.make (n * n) 0.0 in
+    for k = 0 to n - 1 do
+      let nrm = ref 0.0 in
+      for r = 0 to m - 1 do
+        nrm := !nrm +. (a.(ix2 n r k) *. a.(ix2 n r k))
+      done;
+      rr.(ix2 n k k) <- sqrt !nrm;
+      for r = 0 to m - 1 do
+        q.(ix2 n r k) <- a.(ix2 n r k) /. rr.(ix2 n k k)
+      done;
+      for j = k + 1 to n - 1 do
+        rr.(ix2 n k j) <- 0.0;
+        for r = 0 to m - 1 do
+          rr.(ix2 n k j) <- rr.(ix2 n k j) +. (q.(ix2 n r k) *. a.(ix2 n r j))
+        done;
+        for r = 0 to m - 1 do
+          a.(ix2 n r j) <- a.(ix2 n r j) -. (q.(ix2 n r k) *. rr.(ix2 n k j))
+        done
+      done
+    done;
+    checksum_native [ rr; q ]
+  in
+  let program =
+    let a_off = 0 in
+    let q_off = a_off + (8 * m * n) in
+    let r_off = q_off + (8 * m * n) in
+    let total = r_off + (8 * n * n) in
+    let q_len = m * n and r_len = n * n in
+    let open M.Dsl in
+    let ag r c = f64_get2 (i a_off) (i n) r c in
+    let qg r c = f64_get2 (i q_off) (i n) r c in
+    let rg r c = f64_get2 (i r_off) (i n) r c in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "r" (i 0) (i m)
+               [
+                 for_ "c" (i 0) (i n)
+                   [
+                     f64_set2 (i a_off) (i n) (v "r") (v "c")
+                       ((winit2 (v "r") (v "c") 1 n * f 100.0) + f 10.0);
+                   ];
+               ];
+             for_ "k" (i 0) (i n)
+               [
+                 DeclS ("nrm", F64, Some (f 0.0));
+                 for_ "r" (i 0) (i m)
+                   [ set "nrm" (v "nrm" + (ag (v "r") (v "k") * ag (v "r") (v "k"))) ];
+                 f64_set2 (i r_off) (i n) (v "k") (v "k") (SqrtE (v "nrm"));
+                 for_ "r" (i 0) (i m)
+                   [ f64_set2 (i q_off) (i n) (v "r") (v "k") (ag (v "r") (v "k") / rg (v "k") (v "k")) ];
+                 for_ "j" (v "k" + i 1) (i n)
+                   [
+                     f64_set2 (i r_off) (i n) (v "k") (v "j") (f 0.0);
+                     for_ "r" (i 0) (i m)
+                       [
+                         f64_set2 (i r_off) (i n) (v "k") (v "j")
+                           (rg (v "k") (v "j") + (qg (v "r") (v "k") * ag (v "r") (v "j")));
+                       ];
+                     for_ "r" (i 0) (i m)
+                       [
+                         f64_set2 (i a_off) (i n) (v "r") (v "j")
+                           (ag (v "r") (v "j") - (qg (v "r") (v "k") * rg (v "k") (v "j")));
+                       ];
+                   ];
+               ];
+             DeclS ("cks", F64, Some (f 0.0));
+           ]
+          @ wsum ~var:"cks" [ (r_off, r_len); (q_off, q_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "gramschmidt"; category = "solvers"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* jacobi-1d *)
+
+let jacobi_1d =
+  let t_steps = 60 and n = 400 in
+  let native () =
+    let a = Array.init n (fun k -> (float_of_int k +. 2.0) /. float_of_int n) in
+    let b = Array.init n (fun k -> (float_of_int k +. 3.0) /. float_of_int n) in
+    for _ = 1 to t_steps do
+      for k = 1 to n - 2 do
+        b.(k) <- 0.33333 *. (a.(k - 1) +. a.(k) +. a.(k + 1))
+      done;
+      for k = 1 to n - 2 do
+        a.(k) <- 0.33333 *. (b.(k - 1) +. b.(k) +. b.(k + 1))
+      done
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * n) in
+    let total = b_off + (8 * n) in
+    let n1 = n - 1 in
+    let open M.Dsl in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          [
+            for_ "k" (i 0) (i n)
+              [
+                f64_set (i a_off) (v "k") ((to_f64 (v "k") + f 2.0) / to_f64 (i n));
+                f64_set (i b_off) (v "k") ((to_f64 (v "k") + f 3.0) / to_f64 (i n));
+              ];
+            for_ "t" (i 0) (i t_steps)
+              [
+                for_ "k" (i 1) (i n1)
+                  [
+                    f64_set (i b_off) (v "k")
+                      (f 0.33333
+                      * (f64_get (i a_off) (v "k" - i 1) + f64_get (i a_off) (v "k")
+                        + f64_get (i a_off) (v "k" + i 1)));
+                  ];
+                for_ "k" (i 1) (i n1)
+                  [
+                    f64_set (i a_off) (v "k")
+                      (f 0.33333
+                      * (f64_get (i b_off) (v "k" - i 1) + f64_get (i b_off) (v "k")
+                        + f64_get (i b_off) (v "k" + i 1)));
+                  ];
+              ];
+            DeclS ("cks", F64, Some (f 0.0));
+            for_ "q" (i 0) (i n) [ set "cks" (v "cks" + f64_get (i a_off) (v "q")) ];
+            ret (v "cks");
+          ];
+      ]
+  in
+  { name = "jacobi-1d"; category = "stencils"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* jacobi-2d *)
+
+let jacobi_2d =
+  let t_steps = 16 and n = 56 in
+  let native () =
+    let a = Array.init (n * n) (fun x -> init2 (x / n) (x mod n) 2 n) in
+    let b = Array.init (n * n) (fun x -> init2 (x / n) (x mod n) 3 n) in
+    for _ = 1 to t_steps do
+      for r = 1 to n - 2 do
+        for c = 1 to n - 2 do
+          b.(ix2 n r c) <-
+            0.2
+            *. (a.(ix2 n r c) +. a.(ix2 n r (c - 1)) +. a.(ix2 n r (c + 1))
+               +. a.(ix2 n (r + 1) c) +. a.(ix2 n (r - 1) c))
+        done
+      done;
+      for r = 1 to n - 2 do
+        for c = 1 to n - 2 do
+          a.(ix2 n r c) <-
+            0.2
+            *. (b.(ix2 n r c) +. b.(ix2 n r (c - 1)) +. b.(ix2 n r (c + 1))
+               +. b.(ix2 n (r + 1) c) +. b.(ix2 n (r - 1) c))
+        done
+      done
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * n * n) in
+    let total = b_off + (8 * n * n) in
+    let a_len = n * n in
+    let n1 = n - 1 in
+    let open M.Dsl in
+    let g base r c = f64_get2 (i base) (i n) r c in
+    let stencil src dst =
+      for_ "r" (i 1) (i n1)
+        [
+          for_ "c" (i 1) (i n1)
+            [
+              f64_set2 (i dst) (i n) (v "r") (v "c")
+                (f 0.2
+                * (g src (v "r") (v "c") + g src (v "r") (v "c" - i 1)
+                  + g src (v "r") (v "c" + i 1)
+                  + g src (v "r" + i 1) (v "c")
+                  + g src (v "r" - i 1) (v "c")));
+            ];
+        ]
+    in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n n 2 n @ winit_2d b_off n n 3 n
+          @ [
+              for_ "t" (i 0) (i t_steps) [ stencil a_off b_off; stencil b_off a_off ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (a_off, a_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "jacobi-2d"; category = "stencils"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* seidel-2d: in-place 9-point Gauss-Seidel *)
+
+let seidel_2d =
+  let t_steps = 12 and n = 52 in
+  let native () =
+    let a = Array.init (n * n) (fun x -> init2 (x / n) (x mod n) 2 n) in
+    for _ = 1 to t_steps do
+      for r = 1 to n - 2 do
+        for c = 1 to n - 2 do
+          a.(ix2 n r c) <-
+            (a.(ix2 n (r - 1) (c - 1)) +. a.(ix2 n (r - 1) c) +. a.(ix2 n (r - 1) (c + 1))
+            +. a.(ix2 n r (c - 1)) +. a.(ix2 n r c) +. a.(ix2 n r (c + 1))
+            +. a.(ix2 n (r + 1) (c - 1)) +. a.(ix2 n (r + 1) c) +. a.(ix2 n (r + 1) (c + 1)))
+            /. 9.0
+        done
+      done
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a_off = 0 in
+    let total = a_off + (8 * n * n) in
+    let a_len = n * n in
+    let n1 = n - 1 in
+    let open M.Dsl in
+    let g r c = f64_get2 (i a_off) (i n) r c in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d a_off n n 2 n
+          @ [
+              for_ "t" (i 0) (i t_steps)
+                [
+                  for_ "r" (i 1) (i n1)
+                    [
+                      for_ "c" (i 1) (i n1)
+                        [
+                          f64_set2 (i a_off) (i n) (v "r") (v "c")
+                            ((g (v "r" - i 1) (v "c" - i 1) + g (v "r" - i 1) (v "c")
+                             + g (v "r" - i 1) (v "c" + i 1)
+                             + g (v "r") (v "c" - i 1)
+                             + g (v "r") (v "c")
+                             + g (v "r") (v "c" + i 1)
+                             + g (v "r" + i 1) (v "c" - i 1)
+                             + g (v "r" + i 1) (v "c")
+                             + g (v "r" + i 1) (v "c" + i 1))
+                            / f 9.0);
+                        ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (a_off, a_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "seidel-2d"; category = "stencils"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* fdtd-2d *)
+
+let fdtd_2d =
+  let t_steps = 16 and nx = 48 and ny = 48 in
+  let native () =
+    let ex = Array.init (nx * ny) (fun x -> init2 (x / ny) (x mod ny) 1 ny) in
+    let ey = Array.init (nx * ny) (fun x -> init2 (x / ny) (x mod ny) 2 nx) in
+    let hz = Array.init (nx * ny) (fun x -> init2 (x / ny) (x mod ny) 3 nx) in
+    for t = 0 to t_steps - 1 do
+      for c = 0 to ny - 1 do
+        ey.(ix2 ny 0 c) <- float_of_int t
+      done;
+      for r = 1 to nx - 1 do
+        for c = 0 to ny - 1 do
+          ey.(ix2 ny r c) <- ey.(ix2 ny r c) -. (0.5 *. (hz.(ix2 ny r c) -. hz.(ix2 ny (r - 1) c)))
+        done
+      done;
+      for r = 0 to nx - 1 do
+        for c = 1 to ny - 1 do
+          ex.(ix2 ny r c) <- ex.(ix2 ny r c) -. (0.5 *. (hz.(ix2 ny r c) -. hz.(ix2 ny r (c - 1))))
+        done
+      done;
+      for r = 0 to nx - 2 do
+        for c = 0 to ny - 2 do
+          hz.(ix2 ny r c) <-
+            hz.(ix2 ny r c)
+            -. (0.7
+               *. (ex.(ix2 ny r (c + 1)) -. ex.(ix2 ny r c) +. ey.(ix2 ny (r + 1) c)
+                  -. ey.(ix2 ny r c)))
+        done
+      done
+    done;
+    checksum_native [ ex; ey; hz ]
+  in
+  let program =
+    let ex_off = 0 in
+    let ey_off = ex_off + (8 * nx * ny) in
+    let hz_off = ey_off + (8 * nx * ny) in
+    let total = hz_off + (8 * nx * ny) in
+    let len = nx * ny in
+    let nx1 = nx - 1 and ny1 = ny - 1 in
+    let open M.Dsl in
+    let g base r c = f64_get2 (i base) (i ny) r c in
+    let s base r c value = f64_set2 (i base) (i ny) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d ex_off nx ny 1 ny @ winit_2d ey_off nx ny 2 nx @ winit_2d hz_off nx ny 3 nx
+          @ [
+              for_ "t" (i 0) (i t_steps)
+                [
+                  for_ "c" (i 0) (i ny) [ s ey_off (i 0) (v "c") (to_f64 (v "t")) ];
+                  for_ "r" (i 1) (i nx)
+                    [
+                      for_ "c" (i 0) (i ny)
+                        [
+                          s ey_off (v "r") (v "c")
+                            (g ey_off (v "r") (v "c")
+                            - (f 0.5 * (g hz_off (v "r") (v "c") - g hz_off (v "r" - i 1) (v "c"))));
+                        ];
+                    ];
+                  for_ "r" (i 0) (i nx)
+                    [
+                      for_ "c" (i 1) (i ny)
+                        [
+                          s ex_off (v "r") (v "c")
+                            (g ex_off (v "r") (v "c")
+                            - (f 0.5 * (g hz_off (v "r") (v "c") - g hz_off (v "r") (v "c" - i 1))));
+                        ];
+                    ];
+                  for_ "r" (i 0) (i nx1)
+                    [
+                      for_ "c" (i 0) (i ny1)
+                        [
+                          s hz_off (v "r") (v "c")
+                            (g hz_off (v "r") (v "c")
+                            - (f 0.7
+                              * (g ex_off (v "r") (v "c" + i 1) - g ex_off (v "r") (v "c")
+                                + g ey_off (v "r" + i 1) (v "c")
+                                - g ey_off (v "r") (v "c"))));
+                        ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (ex_off, len); (ey_off, len); (hz_off, len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "fdtd-2d"; category = "stencils"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* heat-3d *)
+
+let heat_3d =
+  let t_steps = 12 and n = 14 in
+  let ix3 x y z = (((x * n) + y) * n) + z in
+  let native () =
+    let a = Array.init (n * n * n) (fun k -> init2 (k / n) (k mod n) 2 n) in
+    let b = Array.copy a in
+    let step src dst =
+      for x = 1 to n - 2 do
+        for y = 1 to n - 2 do
+          for z = 1 to n - 2 do
+            dst.(ix3 x y z) <-
+              (0.125 *. (src.(ix3 (x + 1) y z) -. (2.0 *. src.(ix3 x y z)) +. src.(ix3 (x - 1) y z)))
+              +. (0.125 *. (src.(ix3 x (y + 1) z) -. (2.0 *. src.(ix3 x y z)) +. src.(ix3 x (y - 1) z)))
+              +. (0.125 *. (src.(ix3 x y (z + 1)) -. (2.0 *. src.(ix3 x y z)) +. src.(ix3 x y (z - 1))))
+              +. src.(ix3 x y z)
+          done
+        done
+      done
+    in
+    for _ = 1 to t_steps do
+      step a b;
+      step b a
+    done;
+    checksum_native [ a ]
+  in
+  let program =
+    let a_off = 0 in
+    let b_off = a_off + (8 * n * n * n) in
+    let total = b_off + (8 * n * n * n) in
+    let len = n * n * n in
+    let n1 = n - 1 in
+    let open M.Dsl in
+    let g3 base x y z = f64_get (i base) ((((x * i n) + y) * i n) + z) in
+    let s3 base x y z value = f64_set (i base) ((((x * i n) + y) * i n) + z) value in
+    let step src dst =
+      for_ "x" (i 1) (i n1)
+        [
+          for_ "y" (i 1) (i n1)
+            [
+              for_ "z" (i 1) (i n1)
+                [
+                  s3 dst (v "x") (v "y") (v "z")
+                    ((f 0.125
+                     * (g3 src (v "x" + i 1) (v "y") (v "z")
+                       - (f 2.0 * g3 src (v "x") (v "y") (v "z"))
+                       + g3 src (v "x" - i 1) (v "y") (v "z")))
+                    + (f 0.125
+                      * (g3 src (v "x") (v "y" + i 1) (v "z")
+                        - (f 2.0 * g3 src (v "x") (v "y") (v "z"))
+                        + g3 src (v "x") (v "y" - i 1) (v "z")))
+                    + (f 0.125
+                      * (g3 src (v "x") (v "y") (v "z" + i 1)
+                        - (f 2.0 * g3 src (v "x") (v "y") (v "z"))
+                        + g3 src (v "x") (v "y") (v "z" - i 1)))
+                    + g3 src (v "x") (v "y") (v "z"));
+                ];
+            ];
+        ]
+    in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "k" (i 0) (i len)
+               [
+                 f64_set (i a_off) (v "k") (winit2 (v "k" / i n) (v "k" % i n) 2 n);
+                 f64_set (i b_off) (v "k") (winit2 (v "k" / i n) (v "k" % i n) 2 n);
+               ];
+             for_ "t" (i 0) (i t_steps) [ step a_off b_off; step b_off a_off ];
+             DeclS ("cks", F64, Some (f 0.0));
+           ]
+          @ wsum ~var:"cks" [ (a_off, len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "heat-3d"; category = "stencils"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* adi: alternating-direction-implicit heat solver *)
+
+let adi =
+  let t_steps = 8 and n = 36 in
+  (* Scheme coefficients, computed once host-side and embedded as
+     literals on the Wasm side (identical bits). *)
+  let dx = 1.0 /. float_of_int n in
+  let dy = 1.0 /. float_of_int n in
+  let dt = 1.0 /. float_of_int t_steps in
+  let b1 = 2.0 and b2 = 1.0 in
+  let mul1 = b1 *. dt /. (dx *. dx) in
+  let mul2 = b2 *. dt /. (dy *. dy) in
+  let ca = -.mul1 /. 2.0 in
+  let cb = 1.0 +. mul1 in
+  let cc = ca in
+  let cd = -.mul2 /. 2.0 in
+  let ce = 1.0 +. mul2 in
+  let cf = cd in
+  let native () =
+    let u = Array.init (n * n) (fun x -> init2 (x / n) (x mod n) 2 n) in
+    let vv = Array.make (n * n) 0.0 in
+    let p = Array.make (n * n) 0.0 in
+    let q = Array.make (n * n) 0.0 in
+    for _ = 1 to t_steps do
+      (* column sweep *)
+      for r = 1 to n - 2 do
+        vv.(ix2 n 0 r) <- 1.0;
+        p.(ix2 n r 0) <- 0.0;
+        q.(ix2 n r 0) <- vv.(ix2 n 0 r);
+        for j = 1 to n - 2 do
+          p.(ix2 n r j) <- -.cc /. ((ca *. p.(ix2 n r (j - 1))) +. cb);
+          q.(ix2 n r j) <-
+            ((-.cd *. u.(ix2 n j (r - 1)))
+            +. ((1.0 +. (2.0 *. cd)) *. u.(ix2 n j r))
+            -. (cf *. u.(ix2 n j (r + 1)))
+            -. (ca *. q.(ix2 n r (j - 1))))
+            /. ((ca *. p.(ix2 n r (j - 1))) +. cb)
+        done;
+        vv.(ix2 n (n - 1) r) <- 1.0;
+        for j = n - 2 downto 1 do
+          vv.(ix2 n j r) <- (p.(ix2 n r j) *. vv.(ix2 n (j + 1) r)) +. q.(ix2 n r j)
+        done
+      done;
+      (* row sweep *)
+      for r = 1 to n - 2 do
+        u.(ix2 n r 0) <- 1.0;
+        p.(ix2 n r 0) <- 0.0;
+        q.(ix2 n r 0) <- u.(ix2 n r 0);
+        for j = 1 to n - 2 do
+          p.(ix2 n r j) <- -.cf /. ((cd *. p.(ix2 n r (j - 1))) +. ce);
+          q.(ix2 n r j) <-
+            ((-.ca *. vv.(ix2 n (r - 1) j))
+            +. ((1.0 +. (2.0 *. ca)) *. vv.(ix2 n r j))
+            -. (cc *. vv.(ix2 n (r + 1) j))
+            -. (cd *. q.(ix2 n r (j - 1))))
+            /. ((cd *. p.(ix2 n r (j - 1))) +. ce)
+        done;
+        u.(ix2 n r (n - 1)) <- 1.0;
+        for j = n - 2 downto 1 do
+          u.(ix2 n r j) <- (p.(ix2 n r j) *. u.(ix2 n r (j + 1))) +. q.(ix2 n r j)
+        done
+      done
+    done;
+    checksum_native [ u ]
+  in
+  let program =
+    let u_off = 0 in
+    let v_off = u_off + (8 * n * n) in
+    let p_off = v_off + (8 * n * n) in
+    let q_off = p_off + (8 * n * n) in
+    let total = q_off + (8 * n * n) in
+    let u_len = n * n in
+    let n1 = n - 1 and n2 = n - 2 in
+    let open M.Dsl in
+    let g base r c = f64_get2 (i base) (i n) r c in
+    let s base r c value = f64_set2 (i base) (i n) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          (winit_2d u_off n n 2 n
+          @ [
+              for_ "t" (i 0) (i t_steps)
+                [
+                  for_ "r" (i 1) (i n1)
+                    [
+                      s v_off (i 0) (v "r") (f 1.0);
+                      s p_off (v "r") (i 0) (f 0.0);
+                      s q_off (v "r") (i 0) (g v_off (i 0) (v "r"));
+                      for_ "j" (i 1) (i n1)
+                        [
+                          s p_off (v "r") (v "j")
+                            (NegE (f cc) / ((f ca * g p_off (v "r") (v "j" - i 1)) + f cb));
+                          s q_off (v "r") (v "j")
+                            (((NegE (f cd) * g u_off (v "j") (v "r" - i 1))
+                             + ((f 1.0 + (f 2.0 * f cd)) * g u_off (v "j") (v "r"))
+                             - (f cf * g u_off (v "j") (v "r" + i 1))
+                             - (f ca * g q_off (v "r") (v "j" - i 1)))
+                            / ((f ca * g p_off (v "r") (v "j" - i 1)) + f cb));
+                        ];
+                      s v_off (i n1) (v "r") (f 1.0);
+                      for_ "j2" (i 0) (i n2)
+                        [
+                          DeclS ("jc", M.I32, Some (i n2 - v "j2"));
+                          s v_off (v "jc") (v "r")
+                            ((g p_off (v "r") (v "jc") * g v_off (v "jc" + i 1) (v "r"))
+                            + g q_off (v "r") (v "jc"));
+                        ];
+                    ];
+                  for_ "r" (i 1) (i n1)
+                    [
+                      s u_off (v "r") (i 0) (f 1.0);
+                      s p_off (v "r") (i 0) (f 0.0);
+                      s q_off (v "r") (i 0) (g u_off (v "r") (i 0));
+                      for_ "j" (i 1) (i n1)
+                        [
+                          s p_off (v "r") (v "j")
+                            (NegE (f cf) / ((f cd * g p_off (v "r") (v "j" - i 1)) + f ce));
+                          s q_off (v "r") (v "j")
+                            (((NegE (f ca) * g v_off (v "r" - i 1) (v "j"))
+                             + ((f 1.0 + (f 2.0 * f ca)) * g v_off (v "r") (v "j"))
+                             - (f cc * g v_off (v "r" + i 1) (v "j"))
+                             - (f cd * g q_off (v "r") (v "j" - i 1)))
+                            / ((f cd * g p_off (v "r") (v "j" - i 1)) + f ce));
+                        ];
+                      s u_off (v "r") (i n1) (f 1.0);
+                      for_ "j2" (i 0) (i n2)
+                        [
+                          DeclS ("jj2", M.I32, Some (i n2 - v "j2"));
+                          s u_off (v "r") (v "jj2")
+                            ((g p_off (v "r") (v "jj2") * g u_off (v "r") (v "jj2" + i 1))
+                            + g q_off (v "r") (v "jj2"));
+                        ];
+                    ];
+                ];
+              DeclS ("cks", F64, Some (f 0.0));
+            ]
+          @ wsum ~var:"cks" [ (u_off, u_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "adi"; category = "stencils"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* deriche: recursive 2-D edge-detection filter *)
+
+let deriche =
+  let w = 48 and h = 48 in
+  let alpha = 0.25 in
+  let ea = exp (-.alpha) in
+  let e2a = exp (-2.0 *. alpha) in
+  let kcoef =
+    (1.0 -. ea) *. (1.0 -. ea) /. (1.0 +. (2.0 *. alpha *. ea) -. e2a)
+  in
+  let a1 = kcoef and a5 = kcoef in
+  let a2 = kcoef *. ea *. (alpha -. 1.0) in
+  let a6 = a2 in
+  let a3 = kcoef *. ea *. (alpha +. 1.0) in
+  let a7 = a3 in
+  let a4 = -.kcoef *. e2a in
+  let a8 = a4 in
+  let b1 = Float.pow 2.0 (-.alpha) in
+  let b2 = -.e2a in
+  let c1 = 1.0 and c2 = 1.0 in
+  let img_init r c = float_of_int ((313 * r) + (991 * c) mod 65536) /. 65535.0 in
+  let native () =
+    let img_in = Array.init (w * h) (fun x -> img_init (x / h) (x mod h)) in
+    let img_out = Array.make (w * h) 0.0 in
+    let y1 = Array.make (w * h) 0.0 in
+    let y2 = Array.make (w * h) 0.0 in
+    for r = 0 to w - 1 do
+      let ym1 = ref 0.0 and ym2 = ref 0.0 and xm1 = ref 0.0 in
+      for c = 0 to h - 1 do
+        y1.(ix2 h r c) <-
+          (a1 *. img_in.(ix2 h r c)) +. (a2 *. !xm1) +. (b1 *. !ym1) +. (b2 *. !ym2);
+        xm1 := img_in.(ix2 h r c);
+        ym2 := !ym1;
+        ym1 := y1.(ix2 h r c)
+      done
+    done;
+    for r = 0 to w - 1 do
+      let yp1 = ref 0.0 and yp2 = ref 0.0 and xp1 = ref 0.0 and xp2 = ref 0.0 in
+      for c = h - 1 downto 0 do
+        y2.(ix2 h r c) <- (a3 *. !xp1) +. (a4 *. !xp2) +. (b1 *. !yp1) +. (b2 *. !yp2);
+        xp2 := !xp1;
+        xp1 := img_in.(ix2 h r c);
+        yp2 := !yp1;
+        yp1 := y2.(ix2 h r c)
+      done
+    done;
+    for r = 0 to w - 1 do
+      for c = 0 to h - 1 do
+        img_out.(ix2 h r c) <- c1 *. (y1.(ix2 h r c) +. y2.(ix2 h r c))
+      done
+    done;
+    (* vertical passes *)
+    for c = 0 to h - 1 do
+      let tm1 = ref 0.0 and ym1 = ref 0.0 and ym2 = ref 0.0 in
+      for r = 0 to w - 1 do
+        y1.(ix2 h r c) <-
+          (a5 *. img_out.(ix2 h r c)) +. (a6 *. !tm1) +. (b1 *. !ym1) +. (b2 *. !ym2);
+        tm1 := img_out.(ix2 h r c);
+        ym2 := !ym1;
+        ym1 := y1.(ix2 h r c)
+      done
+    done;
+    for c = 0 to h - 1 do
+      let tp1 = ref 0.0 and tp2 = ref 0.0 and yp1 = ref 0.0 and yp2 = ref 0.0 in
+      for r = w - 1 downto 0 do
+        y2.(ix2 h r c) <- (a7 *. !tp1) +. (a8 *. !tp2) +. (b1 *. !yp1) +. (b2 *. !yp2);
+        tp2 := !tp1;
+        tp1 := img_out.(ix2 h r c);
+        yp2 := !yp1;
+        yp1 := y2.(ix2 h r c)
+      done
+    done;
+    for r = 0 to w - 1 do
+      for c = 0 to h - 1 do
+        img_out.(ix2 h r c) <- c2 *. (y1.(ix2 h r c) +. y2.(ix2 h r c))
+      done
+    done;
+    checksum_native [ img_out ]
+  in
+  let program =
+    let in_off = 0 in
+    let out_off = in_off + (8 * w * h) in
+    let y1_off = out_off + (8 * w * h) in
+    let y2_off = y1_off + (8 * w * h) in
+    let total = y2_off + (8 * w * h) in
+    let out_len = w * h in
+    let h1 = h - 1 and w1 = w - 1 in
+    let open M.Dsl in
+    let g base r c = f64_get2 (i base) (i h) r c in
+    let s base r c value = f64_set2 (i base) (i h) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          [
+            for_ "r" (i 0) (i w)
+              [
+                for_ "c" (i 0) (i h)
+                  [
+                    s in_off (v "r") (v "c")
+                      (to_f64 ((i 313 * v "r") + ((i 991 * v "c") % i 65536)) / f 65535.0);
+                  ];
+              ];
+            for_ "r" (i 0) (i w)
+              [
+                DeclS ("ym1", F64, Some (f 0.0));
+                DeclS ("ym2", F64, Some (f 0.0));
+                DeclS ("xm1", F64, Some (f 0.0));
+                for_ "c" (i 0) (i h)
+                  [
+                    s y1_off (v "r") (v "c")
+                      ((f a1 * g in_off (v "r") (v "c")) + (f a2 * v "xm1") + (f b1 * v "ym1")
+                      + (f b2 * v "ym2"));
+                    set "xm1" (g in_off (v "r") (v "c"));
+                    set "ym2" (v "ym1");
+                    set "ym1" (g y1_off (v "r") (v "c"));
+                  ];
+              ];
+            for_ "r" (i 0) (i w)
+              [
+                DeclS ("yp1", F64, Some (f 0.0));
+                DeclS ("yp2", F64, Some (f 0.0));
+                DeclS ("xp1", F64, Some (f 0.0));
+                DeclS ("xp2", F64, Some (f 0.0));
+                set "yp1" (f 0.0); set "yp2" (f 0.0); set "xp1" (f 0.0); set "xp2" (f 0.0);
+                for_ "c2" (i 0) (i h)
+                  [
+                    DeclS ("cc", M.I32, Some (i h1 - v "c2"));
+                    s y2_off (v "r") (v "cc")
+                      ((f a3 * v "xp1") + (f a4 * v "xp2") + (f b1 * v "yp1") + (f b2 * v "yp2"));
+                    set "xp2" (v "xp1");
+                    set "xp1" (g in_off (v "r") (v "cc"));
+                    set "yp2" (v "yp1");
+                    set "yp1" (g y2_off (v "r") (v "cc"));
+                  ];
+              ];
+            for_ "r" (i 0) (i w)
+              [
+                for_ "c" (i 0) (i h)
+                  [ s out_off (v "r") (v "c") (f c1 * (g y1_off (v "r") (v "c") + g y2_off (v "r") (v "c"))) ];
+              ];
+            for_ "c" (i 0) (i h)
+              [
+                DeclS ("tm1", F64, Some (f 0.0));
+                set "ym1" (f 0.0);
+                set "ym2" (f 0.0);
+                set "tm1" (f 0.0);
+                for_ "r" (i 0) (i w)
+                  [
+                    s y1_off (v "r") (v "c")
+                      ((f a5 * g out_off (v "r") (v "c")) + (f a6 * v "tm1") + (f b1 * v "ym1")
+                      + (f b2 * v "ym2"));
+                    set "tm1" (g out_off (v "r") (v "c"));
+                    set "ym2" (v "ym1");
+                    set "ym1" (g y1_off (v "r") (v "c"));
+                  ];
+              ];
+            for_ "c" (i 0) (i h)
+              [
+                DeclS ("tp1", F64, Some (f 0.0));
+                DeclS ("tp2", F64, Some (f 0.0));
+                set "tp1" (f 0.0); set "tp2" (f 0.0); set "yp1" (f 0.0); set "yp2" (f 0.0);
+                for_ "r2" (i 0) (i w)
+                  [
+                    DeclS ("rr", M.I32, Some (i w1 - v "r2"));
+                    s y2_off (v "rr") (v "c")
+                      ((f a7 * v "tp1") + (f a8 * v "tp2") + (f b1 * v "yp1") + (f b2 * v "yp2"));
+                    set "tp2" (v "tp1");
+                    set "tp1" (g out_off (v "rr") (v "c"));
+                    set "yp2" (v "yp1");
+                    set "yp1" (g y2_off (v "rr") (v "c"));
+                  ];
+              ];
+            for_ "r" (i 0) (i w)
+              [
+                for_ "c" (i 0) (i h)
+                  [ s out_off (v "r") (v "c") (f c2 * (g y1_off (v "r") (v "c") + g y2_off (v "r") (v "c"))) ];
+              ];
+            DeclS ("cks", F64, Some (f 0.0));
+            for_ "q" (i 0) (i out_len) [ set "cks" (v "cks" + f64_get (i out_off) (v "q")) ];
+            ret (v "cks");
+          ];
+      ]
+  in
+  { name = "deriche"; category = "medley"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* floyd-warshall: all-pairs shortest paths (integer weights) *)
+
+let floyd_warshall =
+  let n = 48 in
+  let winit r c = ((r * c) mod 7) + (if (r + c) mod 13 = 0 || r = c then 0 else 999) in
+  let native () =
+    let p = Array.init (n * n) (fun x -> winit (x / n) (x mod n)) in
+    for k = 0 to n - 1 do
+      for r = 0 to n - 1 do
+        for c = 0 to n - 1 do
+          let through = p.(ix2 n r k) + p.(ix2 n k c) in
+          if through < p.(ix2 n r c) then p.(ix2 n r c) <- through
+        done
+      done
+    done;
+    Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 p
+  in
+  let program =
+    let p_off = 0 in
+    let total = p_off + (4 * n * n) in
+    let p_len = n * n in
+    let open M.Dsl in
+    let g r c = i32_get (i p_off) ((r * i n) + c) in
+    let s r c value = i32_set (i p_off) ((r * i n) + c) value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          [
+            for_ "r" (i 0) (i n)
+              [
+                for_ "c" (i 0) (i n)
+                  [
+                    s (v "r") (v "c")
+                      (((v "r" * v "c") % i 7)
+                      + TernE
+                          (OrE ((v "r" + v "c") % i 13 = i 0, v "r" = v "c"), i 0, i 999));
+                  ];
+              ];
+            for_ "k" (i 0) (i n)
+              [
+                for_ "r" (i 0) (i n)
+                  [
+                    for_ "c" (i 0) (i n)
+                      [
+                        DeclS ("through", M.I32, Some (g (v "r") (v "k") + g (v "k") (v "c")));
+                        if_ (v "through" < g (v "r") (v "c"))
+                          [ s (v "r") (v "c") (v "through") ]
+                          [];
+                      ];
+                  ];
+              ];
+            DeclS ("cks", F64, Some (f 0.0));
+            for_ "q" (i 0) (i p_len)
+              [ set "cks" (v "cks" + to_f64 (i32_get (i p_off) (v "q"))) ];
+            ret (v "cks");
+          ];
+      ]
+  in
+  { name = "floyd-warshall"; category = "medley"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* nussinov: RNA secondary-structure dynamic programming *)
+
+let nussinov =
+  let n = 48 in
+  let native () =
+    let seq = Array.init n (fun k -> (k + 1) mod 4) in
+    let table = Array.make (n * n) 0 in
+    let max2 a b = if a > b then a else b in
+    for r = n - 1 downto 0 do
+      for c = r + 1 to n - 1 do
+        if c - 1 >= 0 then table.(ix2 n r c) <- max2 table.(ix2 n r c) table.(ix2 n r (c - 1));
+        if r + 1 < n then table.(ix2 n r c) <- max2 table.(ix2 n r c) table.(ix2 n (r + 1) c);
+        if c - 1 >= 0 && r + 1 < n then begin
+          if r < c - 1 then
+            table.(ix2 n r c) <-
+              max2 table.(ix2 n r c)
+                (table.(ix2 n (r + 1) (c - 1)) + if seq.(r) + seq.(c) = 3 then 1 else 0)
+          else table.(ix2 n r c) <- max2 table.(ix2 n r c) table.(ix2 n (r + 1) (c - 1))
+        end;
+        for k = r + 1 to c - 1 do
+          table.(ix2 n r c) <- max2 table.(ix2 n r c) (table.(ix2 n r k) + table.(ix2 n (k + 1) c))
+        done
+      done
+    done;
+    Array.fold_left (fun acc x -> acc +. float_of_int x) 0.0 table
+  in
+  let program =
+    let seq_off = 0 in
+    let t_off = seq_off + (4 * n) in
+    let total = t_off + (4 * n * n) in
+    let t_len = n * n in
+    let n1 = n - 1 in
+    let open M.Dsl in
+    let g r c = i32_get (i t_off) ((r * i n) + c) in
+    let s r c value = i32_set (i t_off) ((r * i n) + c) value in
+    let maxi name e = if_ (e > v name) [ set name e ] [] in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          [
+            for_ "k" (i 0) (i n) [ i32_set (i seq_off) (v "k") ((v "k" + i 1) % i 4) ];
+            for_ "q" (i 0) (i t_len) [ i32_set (i t_off) (v "q") (i 0) ];
+            for_ "r2" (i 0) (i n)
+              [
+                DeclS ("r", M.I32, Some (i n1 - v "r2"));
+                for_ "c" (v "r" + i 1) (i n)
+                  [
+                    DeclS ("best", M.I32, Some (g (v "r") (v "c")));
+                    maxi "best" (g (v "r") (v "c" - i 1));
+                    if_ (v "r" + i 1 < i n) [ maxi "best" (g (v "r" + i 1) (v "c")) ] [];
+                    if_ (v "r" + i 1 < i n)
+                      [
+                        if_ (v "r" < v "c" - i 1)
+                          [
+                            maxi "best"
+                              (g (v "r" + i 1) (v "c" - i 1)
+                              + TernE
+                                  ( i32_get (i seq_off) (v "r") + i32_get (i seq_off) (v "c") = i 3,
+                                    i 1, i 0 ));
+                          ]
+                          [ maxi "best" (g (v "r" + i 1) (v "c" - i 1)) ];
+                      ]
+                      [];
+                    for_ "k2" (v "r" + i 1) (v "c")
+                      [ maxi "best" (g (v "r") (v "k2") + g (v "k2" + i 1) (v "c")) ];
+                    s (v "r") (v "c") (v "best");
+                  ];
+              ];
+            DeclS ("cks", F64, Some (f 0.0));
+            for_ "q" (i 0) (i t_len)
+              [ set "cks" (v "cks" + to_f64 (i32_get (i t_off) (v "q"))) ];
+            ret (v "cks");
+          ];
+      ]
+  in
+  { name = "nussinov"; category = "medley"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* correlation *)
+
+let correlation =
+  let n_pts = 48 and m_vars = 40 in
+  let float_n = float_of_int n_pts in
+  let native () =
+    let data = Array.init (n_pts * m_vars) (fun x ->
+        (float_of_int ((x / m_vars) * (x mod m_vars)) /. float_of_int m_vars)
+        +. float_of_int (x / m_vars))
+    in
+    let mean = Array.make m_vars 0.0 in
+    let stddev = Array.make m_vars 0.0 in
+    let corr = Array.make (m_vars * m_vars) 0.0 in
+    for j = 0 to m_vars - 1 do
+      for k = 0 to n_pts - 1 do
+        mean.(j) <- mean.(j) +. data.(ix2 m_vars k j)
+      done;
+      mean.(j) <- mean.(j) /. float_n
+    done;
+    for j = 0 to m_vars - 1 do
+      for k = 0 to n_pts - 1 do
+        let d = data.(ix2 m_vars k j) -. mean.(j) in
+        stddev.(j) <- stddev.(j) +. (d *. d)
+      done;
+      stddev.(j) <- sqrt (stddev.(j) /. float_n);
+      if stddev.(j) <= 0.1 then stddev.(j) <- 1.0
+    done;
+    for k = 0 to n_pts - 1 do
+      for j = 0 to m_vars - 1 do
+        data.(ix2 m_vars k j) <- (data.(ix2 m_vars k j) -. mean.(j)) /. (sqrt float_n *. stddev.(j))
+      done
+    done;
+    for r = 0 to m_vars - 2 do
+      corr.(ix2 m_vars r r) <- 1.0;
+      for j = r + 1 to m_vars - 1 do
+        for k = 0 to n_pts - 1 do
+          corr.(ix2 m_vars r j) <- corr.(ix2 m_vars r j) +. (data.(ix2 m_vars k r) *. data.(ix2 m_vars k j))
+        done;
+        corr.(ix2 m_vars j r) <- corr.(ix2 m_vars r j)
+      done
+    done;
+    corr.(ix2 m_vars (m_vars - 1) (m_vars - 1)) <- 1.0;
+    checksum_native [ corr ]
+  in
+  let program =
+    let data_off = 0 in
+    let mean_off = data_off + (8 * n_pts * m_vars) in
+    let std_off = mean_off + (8 * m_vars) in
+    let corr_off = std_off + (8 * m_vars) in
+    let total = corr_off + (8 * m_vars * m_vars) in
+    let corr_len = m_vars * m_vars in
+    let m1 = m_vars - 1 in
+    let open M.Dsl in
+    let dg k j = f64_get2 (i data_off) (i m_vars) k j in
+    let ds k j value = f64_set2 (i data_off) (i m_vars) k j value in
+    let cg r c = f64_get2 (i corr_off) (i m_vars) r c in
+    let cs r c value = f64_set2 (i corr_off) (i m_vars) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "k" (i 0) (i n_pts)
+               [
+                 for_ "j" (i 0) (i m_vars)
+                   [ ds (v "k") (v "j") ((to_f64 (v "k" * v "j") / to_f64 (i m_vars)) + to_f64 (v "k")) ];
+               ];
+             for_ "z" (i 0) (i corr_len) [ f64_set (i corr_off) (v "z") (f 0.0) ];
+             for_ "j" (i 0) (i m_vars)
+               [
+                 f64_set (i mean_off) (v "j") (f 0.0);
+                 for_ "k" (i 0) (i n_pts)
+                   [ f64_set (i mean_off) (v "j") (f64_get (i mean_off) (v "j") + dg (v "k") (v "j")) ];
+                 f64_set (i mean_off) (v "j") (f64_get (i mean_off) (v "j") / f float_n);
+               ];
+             for_ "j" (i 0) (i m_vars)
+               [
+                 f64_set (i std_off) (v "j") (f 0.0);
+                 for_ "k" (i 0) (i n_pts)
+                   [
+                     DeclS ("d", F64, Some (dg (v "k") (v "j") - f64_get (i mean_off) (v "j")));
+                     f64_set (i std_off) (v "j") (f64_get (i std_off) (v "j") + (v "d" * v "d"));
+                   ];
+                 f64_set (i std_off) (v "j") (SqrtE (f64_get (i std_off) (v "j") / f float_n));
+                 if_ (CmpE (Le, f64_get (i std_off) (v "j"), f 0.1))
+                   [ f64_set (i std_off) (v "j") (f 1.0) ]
+                   [];
+               ];
+             for_ "k" (i 0) (i n_pts)
+               [
+                 for_ "j" (i 0) (i m_vars)
+                   [
+                     ds (v "k") (v "j")
+                       ((dg (v "k") (v "j") - f64_get (i mean_off) (v "j"))
+                       / (SqrtE (f float_n) * f64_get (i std_off) (v "j")));
+                   ];
+               ];
+             for_ "r" (i 0) (i m1)
+               [
+                 cs (v "r") (v "r") (f 1.0);
+                 for_ "j" (v "r" + i 1) (i m_vars)
+                   [
+                     for_ "k" (i 0) (i n_pts)
+                       [ cs (v "r") (v "j") (cg (v "r") (v "j") + (dg (v "k") (v "r") * dg (v "k") (v "j"))) ];
+                     cs (v "j") (v "r") (cg (v "r") (v "j"));
+                   ];
+               ];
+             cs (i m1) (i m1) (f 1.0);
+             DeclS ("cks", F64, Some (f 0.0));
+           ]
+          @ wsum ~var:"cks" [ (corr_off, corr_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "correlation"; category = "datamining"; program; native }
+
+(* ------------------------------------------------------------------ *)
+(* covariance *)
+
+let covariance =
+  let n_pts = 48 and m_vars = 40 in
+  let float_n = float_of_int n_pts in
+  let native () =
+    let data = Array.init (n_pts * m_vars) (fun x ->
+        float_of_int ((x / m_vars) * (x mod m_vars)) /. float_of_int m_vars)
+    in
+    let mean = Array.make m_vars 0.0 in
+    let cov = Array.make (m_vars * m_vars) 0.0 in
+    for j = 0 to m_vars - 1 do
+      for k = 0 to n_pts - 1 do
+        mean.(j) <- mean.(j) +. data.(ix2 m_vars k j)
+      done;
+      mean.(j) <- mean.(j) /. float_n
+    done;
+    for k = 0 to n_pts - 1 do
+      for j = 0 to m_vars - 1 do
+        data.(ix2 m_vars k j) <- data.(ix2 m_vars k j) -. mean.(j)
+      done
+    done;
+    for r = 0 to m_vars - 1 do
+      for j = r to m_vars - 1 do
+        for k = 0 to n_pts - 1 do
+          cov.(ix2 m_vars r j) <- cov.(ix2 m_vars r j) +. (data.(ix2 m_vars k r) *. data.(ix2 m_vars k j))
+        done;
+        cov.(ix2 m_vars r j) <- cov.(ix2 m_vars r j) /. (float_n -. 1.0);
+        cov.(ix2 m_vars j r) <- cov.(ix2 m_vars r j)
+      done
+    done;
+    checksum_native [ cov ]
+  in
+  let program =
+    let data_off = 0 in
+    let mean_off = data_off + (8 * n_pts * m_vars) in
+    let cov_off = mean_off + (8 * m_vars) in
+    let total = cov_off + (8 * m_vars * m_vars) in
+    let cov_len = m_vars * m_vars in
+    let open M.Dsl in
+    let dg k j = f64_get2 (i data_off) (i m_vars) k j in
+    let ds k j value = f64_set2 (i data_off) (i m_vars) k j value in
+    let cg r c = f64_get2 (i cov_off) (i m_vars) r c in
+    let cs r c value = f64_set2 (i cov_off) (i m_vars) r c value in
+    M.Dsl.program ~mem_pages:(pages_for total)
+      [
+        run_fn
+          ([
+             for_ "k" (i 0) (i n_pts)
+               [
+                 for_ "j" (i 0) (i m_vars)
+                   [ ds (v "k") (v "j") (to_f64 (v "k" * v "j") / to_f64 (i m_vars)) ];
+               ];
+             for_ "z" (i 0) (i cov_len) [ f64_set (i cov_off) (v "z") (f 0.0) ];
+             for_ "j" (i 0) (i m_vars)
+               [
+                 f64_set (i mean_off) (v "j") (f 0.0);
+                 for_ "k" (i 0) (i n_pts)
+                   [ f64_set (i mean_off) (v "j") (f64_get (i mean_off) (v "j") + dg (v "k") (v "j")) ];
+                 f64_set (i mean_off) (v "j") (f64_get (i mean_off) (v "j") / f float_n);
+               ];
+             for_ "k" (i 0) (i n_pts)
+               [
+                 for_ "j" (i 0) (i m_vars)
+                   [ ds (v "k") (v "j") (dg (v "k") (v "j") - f64_get (i mean_off) (v "j")) ];
+               ];
+             for_ "r" (i 0) (i m_vars)
+               [
+                 for_ "j" (v "r") (i m_vars)
+                   [
+                     for_ "k" (i 0) (i n_pts)
+                       [ cs (v "r") (v "j") (cg (v "r") (v "j") + (dg (v "k") (v "r") * dg (v "k") (v "j"))) ];
+                     cs (v "r") (v "j") (cg (v "r") (v "j") / (f float_n - f 1.0));
+                     cs (v "j") (v "r") (cg (v "r") (v "j"));
+                   ];
+               ];
+             DeclS ("cks", F64, Some (f 0.0));
+           ]
+          @ wsum ~var:"cks" [ (cov_off, cov_len) ]
+          @ [ ret (v "cks") ])
+      ]
+  in
+  { name = "covariance"; category = "datamining"; program; native }
+
+(** All 30 PolyBench/C kernels, Fig. 5 order. *)
+let all =
+  [
+    correlation; covariance;
+    gemm; gemver; gesummv; symm; syr2k; syrk; trmm;
+    k2mm; k3mm; atax; bicg; doitgen; mvt;
+    cholesky; durbin; gramschmidt; lu; ludcmp; trisolv;
+    deriche; floyd_warshall; nussinov;
+    adi; fdtd_2d; heat_3d; jacobi_1d; jacobi_2d; seidel_2d;
+  ]
+
+let find name = List.find (fun k -> String.equal k.name name) all

@@ -1,0 +1,1 @@
+test/test_attest.ml: Alcotest Char Evidence List Option Protocol Service String Watz_attest Watz_crypto Watz_tz Watz_util

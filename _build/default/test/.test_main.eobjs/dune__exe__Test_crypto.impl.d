@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Bn Char Cmac Ecdh Ecdsa Fortuna Gcm Gen Hmac Kdf List Modring P256 Printf QCheck QCheck_alcotest Sha256 String Watz_crypto Watz_util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_attest Test_crypto Test_minic Test_runtime Test_symbolic Test_tz Test_wasi Test_wasm Test_workloads

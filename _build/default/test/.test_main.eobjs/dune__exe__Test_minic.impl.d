@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Dsl Int32 List Option Stdlib Watz_wasm Watz_wasmc

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Char Dsl Int32 Int64 List Stdlib String Watz Watz_attest Watz_crypto Watz_tz Watz_util Watz_wasi Watz_wasm Watz_wasmc

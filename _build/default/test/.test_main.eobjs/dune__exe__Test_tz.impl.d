@@ -1,0 +1,1 @@
+test/test_tz.ml: Alcotest Boot Caam Fuses Int64 List Net Optee Option Simclock Soc String Watz_crypto Watz_tz

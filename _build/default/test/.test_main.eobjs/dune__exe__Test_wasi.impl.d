@@ -1,0 +1,1 @@
+test/test_wasi.ml: Alcotest Buffer Char Dsl Int32 Option String Watz Watz_tz Watz_util Watz_wasi Watz_wasm Watz_wasmc

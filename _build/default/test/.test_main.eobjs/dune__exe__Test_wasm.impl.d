@@ -1,0 +1,1 @@
+test/test_wasm.ml: Alcotest Aot Array Ast Astring Builder Decode Encode Float Format Instance Int32 Int64 Interp List Option Printf QCheck QCheck_alcotest String Types Validate Watz_util Watz_wasm

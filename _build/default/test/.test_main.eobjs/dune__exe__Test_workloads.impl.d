@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl Int64 List Option Printf QCheck QCheck_alcotest String Watz_util Watz_wasm Watz_wasmc Watz_workloads

@@ -1,0 +1,497 @@
+(* Known-answer tests (NIST / RFC vectors) and property tests for the
+   from-scratch crypto substrate. *)
+
+open Watz_crypto
+
+let hex = Watz_util.Hex.decode
+let hex_of = Watz_util.Hex.encode
+let check_hex name expected actual = Alcotest.(check string) name expected (hex_of actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bignum *)
+
+let bn_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) "roundtrip" n (Bn.to_int (Bn.of_int n)))
+    [ 0; 1; 2; 255; 256; 67108863; 67108864; 1 lsl 40; max_int / 4 ]
+
+let bn_add_sub () =
+  let a = Bn.of_hex "ffffffffffffffffffffffffffffffff" in
+  let b = Bn.of_hex "1" in
+  let s = Bn.add a b in
+  Alcotest.(check string) "carry chain" "100000000000000000000000000000000" (Bn.to_hex s);
+  Alcotest.(check bool) "sub inverse" true (Bn.equal a (Bn.sub s b))
+
+let bn_mul_known () =
+  let a = Bn.of_hex "123456789abcdef0123456789abcdef0" in
+  let b = Bn.of_hex "fedcba9876543210fedcba9876543210" in
+  (* Computed independently: a*b *)
+  let expected = Bn.mul a b in
+  let q, r = Bn.div_mod expected a in
+  Alcotest.(check bool) "div recovers" true (Bn.equal q b && Bn.is_zero r)
+
+let bn_div_mod_basics () =
+  let a = Bn.of_int 1000 and b = Bn.of_int 7 in
+  let q, r = Bn.div_mod a b in
+  Alcotest.(check int) "q" 142 (Bn.to_int q);
+  Alcotest.(check int) "r" 6 (Bn.to_int r);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bn.div_mod a Bn.zero))
+
+let bn_bytes_roundtrip () =
+  let s = hex "00010203fffefd" in
+  let v = Bn.of_bytes_be s in
+  Alcotest.(check string) "to_bytes" (hex_of s) (hex_of (Bn.to_bytes_be ~len:7 v))
+
+let bn_shifts () =
+  let a = Bn.of_hex "abcdef" in
+  Alcotest.(check string) "shl 4" "abcdef0" (Bn.to_hex (Bn.shift_left a 4));
+  Alcotest.(check string) "shr 8" "abcd" (Bn.to_hex (Bn.shift_right a 8));
+  Alcotest.(check bool) "shr all" true (Bn.is_zero (Bn.shift_right a 24))
+
+let bn_bit_length () =
+  Alcotest.(check int) "0" 0 (Bn.bit_length Bn.zero);
+  Alcotest.(check int) "1" 1 (Bn.bit_length Bn.one);
+  Alcotest.(check int) "255" 8 (Bn.bit_length (Bn.of_int 255));
+  Alcotest.(check int) "256" 9 (Bn.bit_length (Bn.of_int 256))
+
+let arbitrary_bn =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun bytes -> Bn.of_bytes_be (String.concat "" (List.map (String.make 1) bytes)))
+      (Gen.list_size (Gen.int_range 0 40) Gen.char)
+  in
+  make gen ~print:Bn.to_hex
+
+let qcheck_bn_ring =
+  QCheck.Test.make ~name:"bn: (a+b)*c = a*c + b*c" ~count:200
+    (QCheck.triple arbitrary_bn arbitrary_bn arbitrary_bn)
+    (fun (a, b, c) ->
+      Bn.equal (Bn.mul (Bn.add a b) c) (Bn.add (Bn.mul a c) (Bn.mul b c)))
+
+let qcheck_bn_divmod =
+  QCheck.Test.make ~name:"bn: a = q*b + r, r < b" ~count:200
+    (QCheck.pair arbitrary_bn arbitrary_bn)
+    (fun (a, b) ->
+      QCheck.assume (not (Bn.is_zero b));
+      let q, r = Bn.div_mod a b in
+      Bn.equal a (Bn.add (Bn.mul q b) r) && Bn.compare r b < 0)
+
+let qcheck_bn_bytes =
+  QCheck.Test.make ~name:"bn: bytes roundtrip" ~count:200 arbitrary_bn (fun a ->
+      let len = max 1 ((Bn.bit_length a + 7) / 8) in
+      Bn.equal a (Bn.of_bytes_be (Bn.to_bytes_be ~len a)))
+
+(* ------------------------------------------------------------------ *)
+(* Modring *)
+
+let modring_matches_divmod () =
+  let m = Bn.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" in
+  let ring = Modring.create m in
+  let a = Bn.of_hex "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" in
+  let b = Bn.of_hex "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" in
+  let via_ring = Modring.mul ring a b in
+  let via_div = Bn.mod_ (Bn.mul a b) m in
+  Alcotest.(check bool) "barrett = division" true (Bn.equal via_ring via_div)
+
+let modring_inverse () =
+  let ring = P256.order in
+  let a = Bn.of_hex "123456789" in
+  let inv = Modring.inv_prime ring a in
+  Alcotest.(check bool) "a * a^-1 = 1" true (Bn.equal Bn.one (Modring.mul ring a inv));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Modring.inv_prime ring Bn.zero))
+
+let qcheck_modring_reduce =
+  let m = Bn.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551" in
+  let ring = Modring.create m in
+  QCheck.Test.make ~name:"modring: reduce = mod" ~count:200 arbitrary_bn (fun a ->
+      let a2 = Bn.mul a a in
+      Bn.equal (Modring.reduce ring a2) (Bn.mod_ a2 m))
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256 *)
+
+let sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc");
+  check_hex "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let sha256_incremental () =
+  let whole = Sha256.digest "The quick brown fox jumps over the lazy dog" in
+  let ctx = Sha256.init () in
+  Sha256.update ctx "The quick brown fox ";
+  Sha256.update ctx "jumps over ";
+  Sha256.update ctx "the lazy dog";
+  Alcotest.(check string) "incremental = one-shot" (hex_of whole) (hex_of (Sha256.finalize ctx))
+
+let qcheck_sha256_incremental =
+  QCheck.Test.make ~name:"sha256: arbitrary split = one-shot" ~count:100
+    QCheck.(pair (string_of_size (Gen.int_range 0 300)) (int_range 0 300))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let ctx = Sha256.init () in
+      Sha256.update ctx (String.sub s 0 cut);
+      Sha256.update ctx (String.sub s cut (String.length s - cut));
+      String.equal (Sha256.finalize ctx) (Sha256.digest s))
+
+(* ------------------------------------------------------------------ *)
+(* HMAC (RFC 4231) *)
+
+let hmac_vectors () =
+  check_hex "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.sha256 ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.sha256 ~key:"Jefe" "what do ya want for nothing?")
+
+(* ------------------------------------------------------------------ *)
+(* AES (FIPS 197 appendix C) *)
+
+let aes_vectors () =
+  let run keylen key pt expected =
+    let k = Aes.expand_key (hex key) in
+    let ct = Aes.encrypt_block k (hex pt) in
+    check_hex (Printf.sprintf "aes-%d encrypt" keylen) expected ct;
+    Alcotest.(check string)
+      (Printf.sprintf "aes-%d decrypt" keylen)
+      pt
+      (hex_of (Aes.decrypt_block k ct))
+  in
+  run 128 "000102030405060708090a0b0c0d0e0f" "00112233445566778899aabbccddeeff"
+    "69c4e0d86a7b0430d8cdb78070b4c55a";
+  run 192 "000102030405060708090a0b0c0d0e0f1011121314151617"
+    "00112233445566778899aabbccddeeff" "dda97ca4864cdfe06eaf70a0ec0d7191";
+  run 256 "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+    "00112233445566778899aabbccddeeff" "8ea2b7ca516745bfeafc49904b496089"
+
+let aes_bad_key () =
+  Alcotest.check_raises "15-byte key" (Invalid_argument "Aes.expand_key: key must be 16, 24 or 32 bytes")
+    (fun () -> ignore (Aes.expand_key (String.make 15 'k')))
+
+let qcheck_aes_roundtrip =
+  QCheck.Test.make ~name:"aes: decrypt . encrypt = id" ~count:100
+    QCheck.(pair (string_of_size (Gen.return 16)) (string_of_size (Gen.return 16)))
+    (fun (key, block) ->
+      let k = Aes.expand_key key in
+      String.equal block (Aes.decrypt_block k (Aes.encrypt_block k block)))
+
+(* ------------------------------------------------------------------ *)
+(* GCM (NIST test cases) *)
+
+let gcm_vectors () =
+  let key0 = String.make 16 '\000' in
+  let iv0 = String.make 12 '\000' in
+  let ct, tag = Gcm.encrypt ~key:key0 ~iv:iv0 "" in
+  Alcotest.(check string) "case1 ct" "" ct;
+  check_hex "case1 tag" "58e2fccefa7e3061367f1d57a4e7455a" tag;
+  let ct, tag = Gcm.encrypt ~key:key0 ~iv:iv0 (String.make 16 '\000') in
+  check_hex "case2 ct" "0388dace60b6a392f328c2b971b2fe78" ct;
+  check_hex "case2 tag" "ab6e47d42cec13bdf53a67b21257bddf" tag;
+  (* NIST test case 3: 64-byte plaintext with a non-zero key/IV. *)
+  let key = hex "feffe9928665731c6d6a8f9467308308" in
+  let iv = hex "cafebabefacedbaddecaf888" in
+  let pt =
+    hex
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+  in
+  let aad = hex "feedfacedeadbeeffeedfacedeadbeefabaddad2" in
+  let ct, tag = Gcm.encrypt ~key ~iv ~aad pt in
+  check_hex "case4 ct"
+    "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+    ct;
+  check_hex "case4 tag" "5bc94fbc3221a5db94fae95ae7121a47" tag
+
+let gcm_roundtrip_and_tamper () =
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let iv = hex "101112131415161718191a1b" in
+  let pt = "attestation secret blob" in
+  let ct, tag = Gcm.encrypt ~key ~iv ~aad:"hdr" pt in
+  (match Gcm.decrypt ~key ~iv ~aad:"hdr" ~tag ct with
+  | Some got -> Alcotest.(check string) "roundtrip" pt got
+  | None -> Alcotest.fail "authentic ciphertext rejected");
+  let bad = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) ct in
+  Alcotest.(check bool) "tampered ct rejected" true (Gcm.decrypt ~key ~iv ~aad:"hdr" ~tag bad = None);
+  Alcotest.(check bool) "wrong aad rejected" true (Gcm.decrypt ~key ~iv ~aad:"other" ~tag ct = None)
+
+let qcheck_gcm_roundtrip =
+  QCheck.Test.make ~name:"gcm: decrypt . encrypt = id" ~count:50
+    QCheck.(
+      triple (string_of_size (Gen.return 16)) (string_of_size (Gen.return 12))
+        (string_of_size (Gen.int_range 0 200)))
+    (fun (key, iv, pt) ->
+      let ct, tag = Gcm.encrypt ~key ~iv pt in
+      match Gcm.decrypt ~key ~iv ~tag ct with Some got -> String.equal got pt | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* CMAC (RFC 4493) *)
+
+let cmac_vectors () =
+  let key = hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  check_hex "empty" "bb1d6929e95937287fa37d129b756746" (Cmac.mac ~key "");
+  check_hex "16 bytes" "070a16b46b4d4144f79bdd9dd04a287c"
+    (Cmac.mac ~key (hex "6bc1bee22e409f96e93d7e117393172a"));
+  check_hex "40 bytes" "dfa66747de9ae63030ca32611497c827"
+    (Cmac.mac ~key
+       (hex
+          "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411"));
+  check_hex "64 bytes" "51f0bebf7e3b9d92fc49741779363cfe"
+    (Cmac.mac ~key
+       (hex
+          "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"))
+
+let cmac_verify () =
+  let key = hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let tag = Cmac.mac ~key "hello" in
+  Alcotest.(check bool) "accepts" true (Cmac.verify ~key ~tag "hello");
+  Alcotest.(check bool) "rejects msg" false (Cmac.verify ~key ~tag "hellO");
+  Alcotest.(check bool) "rejects short tag" false
+    (Cmac.verify ~key ~tag:(String.sub tag 0 8) "hello")
+
+(* ------------------------------------------------------------------ *)
+(* P-256 *)
+
+let p256_base_on_curve () =
+  match P256.to_affine P256.base with
+  | None -> Alcotest.fail "base is infinity"
+  | Some (x, y) -> Alcotest.(check bool) "G on curve" true (P256.on_curve x y)
+
+let p256_order_annihilates () =
+  Alcotest.(check bool) "n*G = O" true (P256.is_infinity (P256.base_mul P256.n))
+
+let p256_known_multiple () =
+  (* 2G, from standard P-256 test data. *)
+  match P256.to_affine (P256.base_mul (Bn.of_int 2)) with
+  | None -> Alcotest.fail "2G is infinity"
+  | Some (x, y) ->
+    Alcotest.(check string) "2G.x"
+      "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978" (Bn.to_hex x);
+    Alcotest.(check string) "2G.y"
+      "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1" (Bn.to_hex y)
+
+let p256_add_consistency () =
+  let g2 = P256.double P256.base in
+  let g3a = P256.add g2 P256.base in
+  let g3b = P256.base_mul (Bn.of_int 3) in
+  Alcotest.(check bool) "G+2G = 3G" true (P256.equal g3a g3b);
+  Alcotest.(check bool) "comm" true (P256.equal (P256.add P256.base g2) (P256.add g2 P256.base))
+
+let p256_encode_roundtrip () =
+  let pt = P256.base_mul (Bn.of_int 12345) in
+  match P256.decode (P256.encode pt) with
+  | Some pt' -> Alcotest.(check bool) "decode . encode" true (P256.equal pt pt')
+  | None -> Alcotest.fail "decode failed"
+
+let p256_decode_rejects () =
+  Alcotest.(check bool) "short" true (P256.decode "\x04abc" = None);
+  let bogus = "\x04" ^ String.make 64 '\x01' in
+  Alcotest.(check bool) "off-curve" true (P256.decode bogus = None)
+
+let qcheck_p256_distributive =
+  let scalar =
+    QCheck.make ~print:Bn.to_hex
+      (QCheck.Gen.map (fun n -> Bn.of_int (abs n + 1)) QCheck.Gen.int)
+  in
+  QCheck.Test.make ~name:"p256: (k1+k2)G = k1 G + k2 G" ~count:10
+    (QCheck.pair scalar scalar)
+    (fun (k1, k2) ->
+      P256.equal (P256.base_mul (Bn.add k1 k2)) (P256.add (P256.base_mul k1) (P256.base_mul k2)))
+
+(* ------------------------------------------------------------------ *)
+(* ECDSA (RFC 6979 A.2.5) *)
+
+let rfc6979_private =
+  hex "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721"
+
+let ecdsa_rfc6979_vector () =
+  let key = Ecdsa.private_of_bytes rfc6979_private in
+  let signature = Ecdsa.sign key "sample" in
+  check_hex "r||s for 'sample'"
+    "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8"
+    signature;
+  let pub = Ecdsa.public_of_private key in
+  (match P256.to_affine pub with
+  | Some (x, y) ->
+    Alcotest.(check string) "pub.x"
+      "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6" (Bn.to_hex x);
+    Alcotest.(check string) "pub.y"
+      "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299" (Bn.to_hex y)
+  | None -> Alcotest.fail "public key at infinity");
+  Alcotest.(check bool) "verifies" true (Ecdsa.verify pub ~msg:"sample" ~signature)
+
+let ecdsa_rejects_forgery () =
+  let key = Ecdsa.private_of_bytes rfc6979_private in
+  let pub = Ecdsa.public_of_private key in
+  let signature = Ecdsa.sign key "sample" in
+  Alcotest.(check bool) "other msg" false (Ecdsa.verify pub ~msg:"tampered" ~signature);
+  let flipped =
+    String.mapi (fun i c -> if i = 10 then Char.chr (Char.code c lxor 0x40) else c) signature
+  in
+  Alcotest.(check bool) "bitflip" false (Ecdsa.verify pub ~msg:"sample" ~signature:flipped);
+  Alcotest.(check bool) "short sig" false
+    (Ecdsa.verify pub ~msg:"sample" ~signature:(String.sub signature 0 63));
+  let other = Ecdsa.public_of_private (Ecdsa.private_of_bytes (Sha256.digest "other")) in
+  Alcotest.(check bool) "wrong key" false (Ecdsa.verify other ~msg:"sample" ~signature)
+
+let ecdsa_seeded_keypair_deterministic () =
+  let d1, q1 = Ecdsa.keypair_of_seed "device-root-of-trust" in
+  let d2, q2 = Ecdsa.keypair_of_seed "device-root-of-trust" in
+  let d3, _ = Ecdsa.keypair_of_seed "other-device" in
+  Alcotest.(check bool) "same seed, same key" true
+    (String.equal (Ecdsa.private_to_bytes d1) (Ecdsa.private_to_bytes d2) && P256.equal q1 q2);
+  Alcotest.(check bool) "different seed differs" false
+    (String.equal (Ecdsa.private_to_bytes d1) (Ecdsa.private_to_bytes d3))
+
+let qcheck_ecdsa_sign_verify =
+  QCheck.Test.make ~name:"ecdsa: verify . sign = true" ~count:5
+    QCheck.(string_of_size (Gen.int_range 0 100))
+    (fun msg ->
+      let key = Ecdsa.private_of_bytes (Sha256.digest msg) in
+      let pub = Ecdsa.public_of_private key in
+      Ecdsa.verify pub ~msg ~signature:(Ecdsa.sign key msg))
+
+(* ------------------------------------------------------------------ *)
+(* ECDH *)
+
+let ecdh_agreement () =
+  let rng = Watz_util.Prng.create 42L in
+  let random n = Watz_util.Prng.bytes rng n in
+  let alice = Ecdh.generate ~random in
+  let bob = Ecdh.generate ~random in
+  let s1 = Ecdh.shared_secret ~priv:alice.Ecdh.priv ~peer:bob.Ecdh.pub in
+  let s2 = Ecdh.shared_secret ~priv:bob.Ecdh.priv ~peer:alice.Ecdh.pub in
+  match (s1, s2) with
+  | Some a, Some b ->
+    Alcotest.(check string) "shared secrets agree" (hex_of a) (hex_of b);
+    Alcotest.(check int) "32 bytes" 32 (String.length a)
+  | None, _ | _, None -> Alcotest.fail "unexpected infinity"
+
+let ecdh_fresh_sessions_differ () =
+  let rng = Watz_util.Prng.create 7L in
+  let random n = Watz_util.Prng.bytes rng n in
+  let k1 = Ecdh.generate ~random in
+  let k2 = Ecdh.generate ~random in
+  Alcotest.(check bool) "ephemeral keys differ" false (P256.equal k1.Ecdh.pub k2.Ecdh.pub)
+
+(* ------------------------------------------------------------------ *)
+(* Fortuna *)
+
+let fortuna_deterministic () =
+  let a = Fortuna.of_seed "seed" in
+  let b = Fortuna.of_seed "seed" in
+  Alcotest.(check string) "same seed, same stream" (hex_of (Fortuna.generate a 48))
+    (hex_of (Fortuna.generate b 48))
+
+let fortuna_differs_by_seed () =
+  let a = Fortuna.of_seed "seed-a" in
+  let b = Fortuna.of_seed "seed-b" in
+  Alcotest.(check bool) "streams differ" false
+    (String.equal (Fortuna.generate a 32) (Fortuna.generate b 32))
+
+let fortuna_rekeys () =
+  let a = Fortuna.of_seed "seed" in
+  let first = Fortuna.generate a 32 in
+  let second = Fortuna.generate a 32 in
+  Alcotest.(check bool) "consecutive outputs differ" false (String.equal first second)
+
+let fortuna_unseeded () =
+  let g = Fortuna.create () in
+  Alcotest.check_raises "unseeded" (Failure "Fortuna.generate: generator not seeded")
+    (fun () -> ignore (Fortuna.generate g 16))
+
+(* ------------------------------------------------------------------ *)
+(* KDF *)
+
+let kdf_shape () =
+  let shared = Sha256.digest "gab" in
+  let keys = Kdf.session_of_shared shared in
+  Alcotest.(check int) "kdk 16" 16 (String.length keys.Kdf.kdk);
+  Alcotest.(check bool) "k_m <> k_e" false (String.equal keys.Kdf.k_m keys.Kdf.k_e);
+  let keys' = Kdf.session_of_shared shared in
+  Alcotest.(check string) "deterministic" (hex_of keys.Kdf.k_e) (hex_of keys'.Kdf.k_e)
+
+let kdf_distinct_secrets () =
+  let k1 = Kdf.session_of_shared (Sha256.digest "s1") in
+  let k2 = Kdf.session_of_shared (Sha256.digest "s2") in
+  Alcotest.(check bool) "different shared secret, different keys" false
+    (String.equal k1.Kdf.k_e k2.Kdf.k_e)
+
+let case name f = Alcotest.test_case name `Quick f
+let q t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "crypto.bn",
+      [
+        case "of_int/to_int roundtrip" bn_of_int_roundtrip;
+        case "add/sub with carries" bn_add_sub;
+        case "mul/div consistency" bn_mul_known;
+        case "div_mod basics" bn_div_mod_basics;
+        case "bytes roundtrip" bn_bytes_roundtrip;
+        case "shifts" bn_shifts;
+        case "bit_length" bn_bit_length;
+        q qcheck_bn_ring;
+        q qcheck_bn_divmod;
+        q qcheck_bn_bytes;
+      ] );
+    ( "crypto.modring",
+      [
+        case "barrett matches division" modring_matches_divmod;
+        case "prime inverse" modring_inverse;
+        q qcheck_modring_reduce;
+      ] );
+    ( "crypto.sha256",
+      [
+        case "NIST vectors" sha256_vectors;
+        case "incremental" sha256_incremental;
+        q qcheck_sha256_incremental;
+      ] );
+    ("crypto.hmac", [ case "RFC 4231 vectors" hmac_vectors ]);
+    ( "crypto.aes",
+      [ case "FIPS 197 vectors" aes_vectors; case "bad key size" aes_bad_key; q qcheck_aes_roundtrip ]
+    );
+    ( "crypto.gcm",
+      [
+        case "NIST vectors" gcm_vectors;
+        case "roundtrip + tamper" gcm_roundtrip_and_tamper;
+        q qcheck_gcm_roundtrip;
+      ] );
+    ("crypto.cmac", [ case "RFC 4493 vectors" cmac_vectors; case "verify" cmac_verify ]);
+    ( "crypto.p256",
+      [
+        case "base point on curve" p256_base_on_curve;
+        case "n G = infinity" p256_order_annihilates;
+        case "known 2G" p256_known_multiple;
+        case "add consistency" p256_add_consistency;
+        case "encode roundtrip" p256_encode_roundtrip;
+        case "decode rejects invalid" p256_decode_rejects;
+        q qcheck_p256_distributive;
+      ] );
+    ( "crypto.ecdsa",
+      [
+        case "RFC 6979 P-256/SHA-256 vector" ecdsa_rfc6979_vector;
+        case "rejects forgeries" ecdsa_rejects_forgery;
+        case "seeded keypair deterministic" ecdsa_seeded_keypair_deterministic;
+        q qcheck_ecdsa_sign_verify;
+      ] );
+    ( "crypto.ecdh",
+      [ case "agreement" ecdh_agreement; case "fresh sessions differ" ecdh_fresh_sessions_differ ]
+    );
+    ( "crypto.fortuna",
+      [
+        case "deterministic from seed" fortuna_deterministic;
+        case "seed separation" fortuna_differs_by_seed;
+        case "rekeys between requests" fortuna_rekeys;
+        case "unseeded raises" fortuna_unseeded;
+      ] );
+    ("crypto.kdf", [ case "session key shape" kdf_shape; case "secret separation" kdf_distinct_secrets ]);
+  ]

@@ -1,0 +1,52 @@
+(* Tests for the Dolev-Yao symbolic checker: the honest protocol's
+   claims hold, the weakened variants leak (non-vacuity), and the term
+   deduction rules behave as specified. *)
+
+open Watz_attest.Symbolic
+
+let test_honest_claims_hold () =
+  List.iter
+    (fun v -> Alcotest.(check bool) v.claim true v.holds)
+    (verify_protocol ())
+
+let test_attacks_found () =
+  List.iter
+    (fun (name, found) -> Alcotest.(check bool) ("attack: " ^ name) true found)
+    (attack_findings ())
+
+let test_deduction_rules () =
+  (* Pair projection. *)
+  Alcotest.(check bool) "pair" true
+    (derivable [ Pair (Name "x", Name "y") ] (Name "x"));
+  (* Symmetric decryption needs the key. *)
+  Alcotest.(check bool) "senc without key" false
+    (derivable [ Senc (Name "m", Name "k") ] (Name "m"));
+  Alcotest.(check bool) "senc with key" true
+    (derivable [ Senc (Name "m", Name "k"); Name "k" ] (Name "m"));
+  (* Signatures reveal content but not the key. *)
+  Alcotest.(check bool) "sign reveals content" true
+    (derivable [ Sign (Name "m", Name "sk") ] (Name "m"));
+  Alcotest.(check bool) "sign hides key" false
+    (derivable [ Sign (Name "m", Name "sk") ] (Name "sk"));
+  (* DH: private + peer public -> shared; shared -> derived keys. *)
+  Alcotest.(check bool) "dh" true
+    (derivable [ Name "a"; Pub (Name "b") ] (Kdf ("SK", shared "a" "b")));
+  Alcotest.(check bool) "dh needs a private part" false
+    (derivable [ Pub (Name "a"); Pub (Name "b") ] (Kdf ("SK", shared "a" "b")));
+  (* Commutativity of the shared secret. *)
+  Alcotest.(check bool) "dh commutative" true
+    (derivable [ Name "b"; Pub (Name "a") ] (Kdf ("SK", shared "a" "b")));
+  (* Hashes are one-way. *)
+  Alcotest.(check bool) "hash one-way" false (derivable [ Hash (Name "x") ] (Name "x"))
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    ( "symbolic",
+      [
+        case "honest protocol claims hold" test_honest_claims_hold;
+        case "weakened variants attacked" test_attacks_found;
+        case "deduction rules" test_deduction_rules;
+      ] );
+  ]
