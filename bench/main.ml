@@ -2,7 +2,7 @@
    figure of the paper's evaluation (§VI). Run with no argument for the
    full sweep, or with one of:
 
-     fig3 fig4 fig5 fig6 table2 table3 fig7 table4 fig8 aot-ablation micro
+     fig3 fig4 fig5 fig6 table2 table3 fig7 table4 fig8 aot-ablation fast-ablation micro
 
    Absolute numbers differ from the paper (x86 host + OCaml closures vs
    Cortex-A53 + LLVM AOT); EXPERIMENTS.md records paper-vs-measured and
@@ -30,8 +30,8 @@ let booted seed =
 let section title = Printf.printf "\n=== %s ===\n%!" title
 let ns_to_ms ns = ns /. 1e6
 
-let median_ns ?(runs = 5) f =
-  let s = Stats.measure ~runs f in
+let median_ns ?(runs = 5) ?(warmup = 0) f =
+  let s = Stats.measure ~runs ~warmup f in
   s.Stats.median
 
 (* ------------------------------------------------------------------ *)
@@ -111,7 +111,27 @@ let fig4 () =
         (pct s.Runtime.load_ns) (pct s.Runtime.instantiate_ns);
       Runtime.unload app)
     sizes;
-  Printf.printf "  (paper: load 73%%, init 16%%, alloc 5%%, hash 4%%, rest <1%% each)\n"
+  Printf.printf "  (paper: load 73%%, init 16%%, alloc 5%%, hash 4%%, rest <1%% each)\n";
+  (* Measurement-keyed module cache: a second load of the same (already
+     measured) bytecode skips decode/validate/pre-compile entirely. *)
+  Printf.printf "\n  module cache (fast tier, 1MB app): cold vs cached reload\n";
+  Printf.printf "  %-8s %10s %10s %10s %6s\n" "load" "total(ms)" "load(ms)" "inst(ms)" "hit";
+  let soc = booted "bench-fig4-cache" in
+  let bytes = Watz_workloads.Bigapp.generate ~mb:1 in
+  let config =
+    { Runtime.default_config with Runtime.heap_bytes = 23 * 1024 * 1024; tier = Runtime.Fast }
+  in
+  Runtime.cache_clear ();
+  let row label app =
+    let s = app.Runtime.startup in
+    Printf.printf "  %-8s %10.2f %10.2f %10.2f %6s\n" label
+      (ns_to_ms (Runtime.total_ns s))
+      (ns_to_ms s.Runtime.load_ns) (ns_to_ms s.Runtime.instantiate_ns)
+      (if s.Runtime.cache_hit then "yes" else "no");
+    Runtime.unload app
+  in
+  row "cold" (Runtime.load ~config soc bytes);
+  row "cached" (Runtime.load ~config soc bytes)
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 5: PolyBench/C, normalised against native. *)
@@ -421,9 +441,7 @@ let fig8 () =
       let wamr_app = Wamr.load ~entry:None soc bytes in
       let wamr_invoke name args = Wamr.invoke wamr_app name args in
       GW.seed_weights ~invoke:wamr_invoke initial;
-      GW.write_dataset
-        (Option.get (Watz_wasm.Aot.export_memory wamr_app.Wamr.instance "memory"))
-        dataset;
+      GW.write_dataset (Option.get (Wamr.export_memory wamr_app)) dataset;
       let wamr_ns, () =
         Stats.time_ns (fun () -> GW.train ~invoke:wamr_invoke ~n_records ~epochs ~rate:0.7)
       in
@@ -431,9 +449,7 @@ let fig8 () =
       let watz_app = Runtime.load ~config ~entry:None soc bytes in
       let watz_invoke name args = Runtime.invoke watz_app name args in
       GW.seed_weights ~invoke:watz_invoke initial;
-      GW.write_dataset
-        (Option.get (Watz_wasm.Aot.export_memory watz_app.Runtime.instance "memory"))
-        dataset;
+      GW.write_dataset (Option.get (Runtime.export_memory watz_app)) dataset;
       let watz_ns, () =
         Stats.time_ns (fun () -> GW.train ~invoke:watz_invoke ~n_records ~epochs ~rate:0.7)
       in
@@ -458,9 +474,9 @@ let aot_ablation () =
         let bytes = Watz_wasmc.Minic.compile_to_bytes k.PB.program in
         let aot_app = Wamr.load ~entry:None soc bytes in
         let aot = median_ns ~runs:3 (fun () -> ignore (Wamr.invoke aot_app "run" [])) in
-        let interp_app = Wamr.load_interp soc bytes in
+        let interp_app = Wamr.load ~tier:Watz.Engine.Interp ~entry:None soc bytes in
         let interp =
-          median_ns ~runs:1 (fun () -> ignore (Wamr.invoke_interp interp_app "run" []))
+          median_ns ~runs:1 (fun () -> ignore (Wamr.invoke interp_app "run" []))
         in
         let r = interp /. aot in
         Printf.printf "  %-16s %12.2f %12.2f %7.1fx\n" name (ns_to_ms aot) (ns_to_ms interp) r;
@@ -468,6 +484,60 @@ let aot_ablation () =
       [ "gemm"; "atax"; "trisolv"; "jacobi-1d"; "durbin" ]
   in
   Printf.printf "  %-16s %12s %12s %7.1fx\n" "geomean" "" "" (geomean ratios)
+
+(* ------------------------------------------------------------------ *)
+(* Fast-interpreter ablation: tree-walker vs pre-decoded linear
+   bytecode vs AOT closures, same modules, same results. *)
+
+let fast_ablation () =
+  section "Ablation - interp vs fast-interp vs AOT (pre-decoded linear bytecode)";
+  let soc = booted "bench-fast" in
+  let runs = if quick then 2 else 5 in
+  Printf.printf "  %-16s %10s %10s %10s %10s %9s %9s\n" "kernel" "interp(ms)" "fast(ms)"
+    "fast p95" "aot(ms)" "int/fast" "fast/aot";
+  let kernels =
+    List.map
+      (fun name ->
+        let k = PB.find name in
+        (name, Watz_wasmc.Minic.compile_to_bytes k.PB.program))
+      [ "gemm"; "atax"; "trisolv"; "jacobi-1d"; "durbin" ]
+    @ List.filter_map
+        (fun e ->
+          if List.mem e.ST.id [ 100; 160; 500 ] then
+            Some (Printf.sprintf "st-%d" e.ST.id, Watz_wasmc.Minic.compile_to_bytes e.ST.program)
+          else None)
+        ST.all
+  in
+  let ratios =
+    List.map
+      (fun (name, bytes) ->
+        let app tier = Wamr.load ~tier ~entry:None soc bytes in
+        let run a = Wamr.invoke a "run" [] in
+        let interp_app = app Watz.Engine.Interp
+        and fast_app = app Watz.Engine.Fast
+        and aot_app = app Watz.Engine.Aot in
+        (* The tiers must agree bit-for-bit before their times mean anything. *)
+        let r_interp = run interp_app and r_fast = run fast_app and r_aot = run aot_app in
+        if r_interp <> r_fast || r_fast <> r_aot then
+          failwith (Printf.sprintf "tier mismatch on %s" name);
+        let interp = median_ns ~runs:(max 1 (runs - 1)) (fun () -> ignore (run interp_app)) in
+        let fast_s = Stats.measure ~runs ~warmup:1 (fun () -> ignore (run fast_app)) in
+        let aot = median_ns ~runs ~warmup:1 (fun () -> ignore (run aot_app)) in
+        let fast = fast_s.Stats.median in
+        Printf.printf "  %-16s %10.2f %10.2f %10.2f %10.2f %8.1fx %8.2fx\n" name
+          (ns_to_ms interp) (ns_to_ms fast)
+          (ns_to_ms fast_s.Stats.p95)
+          (ns_to_ms aot) (interp /. fast) (fast /. aot);
+        (interp /. fast, fast /. aot))
+      kernels
+  in
+  Printf.printf "  %-16s %10s %10s %10s %10s %8.1fx %8.2fx\n" "geomean" "" "" "" ""
+    (geomean (List.map fst ratios))
+    (geomean (List.map snd ratios));
+  Printf.printf "  %-16s %10s %10s %10s %10s %8.1fx %8.2fx\n" "median" "" "" "" ""
+    (Stats.median (Array.of_list (List.map fst ratios)))
+    (Stats.median (Array.of_list (List.map snd ratios)));
+  Printf.printf "  (target: fast >= 5x median over the tree-walking interpreter, identical results)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family. *)
@@ -546,7 +616,7 @@ let all_targets =
   [
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("table2", table2);
     ("table3", table3); ("fig7", fig7); ("table4", table4); ("fig8", fig8);
-    ("aot-ablation", aot_ablation); ("micro", micro);
+    ("aot-ablation", aot_ablation); ("fast-ablation", fast_ablation); ("micro", micro);
   ]
 
 let () =

@@ -49,18 +49,36 @@ let measure_cmd =
   Cmd.v (Cmd.info "measure" ~doc:"Print the attestation claim (SHA-256) of a Wasm binary")
     Term.(const run $ file)
 
+let tier_conv =
+  let parse s =
+    match Watz.Engine.tier_of_string s with
+    | Some t -> Ok t
+    | None -> Error (`Msg (Printf.sprintf "unknown tier %S (expected interp, fast or aot)" s))
+  in
+  Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Watz.Engine.tier_name t))
+
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.wasm") in
   let entry = Arg.(value & pos 1 string "_start" & info [] ~docv:"ENTRY") in
-  let run file entry =
+  let tier =
+    Arg.(
+      value
+      & opt tier_conv Watz.Runtime.default_config.Watz.Runtime.tier
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:"Execution tier: $(b,interp) (tree-walking), $(b,fast) (pre-decoded linear \
+                bytecode) or $(b,aot).")
+  in
+  let run file entry tier =
     let soc = booted "cli-device" in
-    let app = Watz.Runtime.load ~entry:(Some entry) soc (read_file file) in
+    let config = { Watz.Runtime.default_config with Watz.Runtime.tier } in
+    let app = Watz.Runtime.load ~config ~entry:(Some entry) soc (read_file file) in
     print_string (Watz.Runtime.output app);
+    Printf.printf "[watz] tier: %s\n" (Watz.Engine.tier_name tier);
     Printf.printf "[watz] claim: %s\n" (Watz_util.Hex.encode (Watz.Runtime.claim app));
     Watz.Runtime.unload app
   in
   Cmd.v (Cmd.info "run" ~doc:"Launch a Wasm binary inside the WaTZ runtime")
-    Term.(const run $ file $ entry)
+    Term.(const run $ file $ entry $ tier)
 
 let attest_cmd =
   let run () =

@@ -7,31 +7,54 @@
     measures} it (the attestation claim), obtains executable pages via
     the kernel extension, loads and instantiates the module with WASI +
     WASI-RA bound to the GP API, and starts execution. Each phase is
-    timed to regenerate the Fig. 4 startup breakdown. *)
+    timed to regenerate the Fig. 4 startup breakdown.
+
+    Execution runs on a selectable tier ({!Engine.tier}): tree-walking
+    interpreter, fast interpreter (pre-decoded linear bytecode), or
+    AOT closures. Prepared modules are cached keyed by the SHA-256
+    measurement the attestation path computes anyway: a second [load]
+    of already-measured bytecode skips decode/validate (and, on the
+    fast tier, the whole flattening pass) — the trusted-runtime
+    analogue of Twine's in-enclave module cache. *)
 
 module Wasi = Watz_wasi.Wasi
 module Wasi_ra = Watz_wasi.Wasi_ra
+
+type exec_tier = Engine.tier = Interp | Fast | Aot
 
 type config = {
   heap_bytes : int; (* TA heap reserved at session open (paper: per experiment) *)
   stack_bytes : int;
   args : string list;
   pump : unit -> unit; (* normal-world scheduling hook for WASI-RA *)
+  tier : exec_tier;
+  use_cache : bool; (* measurement-keyed prepared-module cache *)
 }
 
 let default_config =
-  { heap_bytes = 2 * 1024 * 1024; stack_bytes = 3 * 1024; args = [ "app.wasm" ]; pump = (fun () -> ()) }
+  {
+    heap_bytes = 2 * 1024 * 1024;
+    stack_bytes = 3 * 1024;
+    args = [ "app.wasm" ];
+    pump = (fun () -> ());
+    tier = Aot;
+    use_cache = true;
+  }
 
 (** Wall-clock phase breakdown of a launch (Fig. 4). [transition_ns]
-    is the simulated world-switch cost; the others are measured. *)
+    is the simulated world-switch cost; the others are measured.
+    [cache_hit] records whether the prepared module came out of the
+    measurement-keyed cache (in which case [load_ns] is just the
+    lookup). *)
 type startup = {
   transition_ns : float;
   alloc_ns : float; (* secure buffers + executable pages *)
   hash_ns : float; (* bytecode measurement *)
   runtime_init_ns : float; (* runtime environment + native symbols *)
-  load_ns : float; (* parsing + validation (relocation analogue) *)
-  instantiate_ns : float; (* closure compilation + segments *)
+  load_ns : float; (* parsing + validation + pre-compilation *)
+  instantiate_ns : float; (* linking + segments (AOT: closure compilation) *)
   execute_ns : float; (* run to completion of the entry point *)
+  cache_hit : bool;
 }
 
 let total_ns s =
@@ -40,7 +63,8 @@ let total_ns s =
 
 type app = {
   claim : string; (* SHA-256 measurement of the bytecode *)
-  instance : Watz_wasm.Aot.rinstance;
+  tier : exec_tier;
+  instance : Engine.instance;
   wasi_env : Wasi.env;
   ra_env : Wasi_ra.env;
   output : Buffer.t;
@@ -48,6 +72,14 @@ type app = {
   session : Watz_tz.Optee.session;
   soc : Watz_tz.Soc.t;
 }
+
+(* The prepared-module cache, keyed by (measurement, tier). Entries are
+   instance-free (Engine.prepared), so sharing them across apps — and
+   across SoCs — is safe; each load still links its own instance. *)
+let module_cache : (string * exec_tier, Engine.prepared) Hashtbl.t = Hashtbl.create 16
+
+let cache_clear () = Hashtbl.reset module_cache
+let cache_size () = Hashtbl.length module_cache
 
 let watz_ta_uuid = "a7c9e1f0-watz-runtime"
 
@@ -114,17 +146,22 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
         in
         (wasi_env, ra_env))
   in
-  let load_ns, module_ =
+  (* Load phase: decode + validate + tier pre-compilation, or a cache
+     hit on the measurement computed above. *)
+  let cache_key = (claim, config.tier) in
+  let cache_hit = config.use_cache && Hashtbl.mem module_cache cache_key in
+  let load_ns, prepared =
     time (fun () ->
-        let m = Watz_wasm.Decode.decode bytecode in
-        Watz_wasm.Validate.validate m;
-        m)
+        match if config.use_cache then Hashtbl.find_opt module_cache cache_key else None with
+        | Some p -> p
+        | None ->
+          let p = Engine.prepare config.tier bytecode in
+          if config.use_cache then Hashtbl.replace module_cache cache_key p;
+          p)
   in
   let instantiate_ns, instance =
     time (fun () ->
-        let imports = Wasi.aot_imports wasi_env @ Wasi_ra.aot_imports ra_env in
-        let inst = Watz_wasm.Aot.instantiate ~imports module_ in
-        Wasi.attach_aot_memory wasi_env inst;
+        let inst = Engine.instantiate ~ra_env ~wasi_env prepared in
         (* Enforce the TA heap budget on the app's linear memory. *)
         (match wasi_env.Wasi.memory with
         | Some mem -> Watz_wasm.Instance.Memory.set_limit_bytes mem (Some config.heap_bytes)
@@ -136,21 +173,28 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
         match entry with
         | None -> ()
         | Some name -> (
-          match Watz_wasm.Aot.export_func instance name with
-          | None -> ()
-          | Some f -> (
-            try ignore (Watz_wasm.Aot.invoke_funcinst instance f [])
-            with Wasi.Proc_exit code -> wasi_env.Wasi.exit_code <- Some code)))
+          try ignore (Engine.invoke_opt instance name [])
+          with Wasi.Proc_exit code -> wasi_env.Wasi.exit_code <- Some code))
   in
   Watz_tz.Simclock.advance soc.Watz_tz.Soc.clock soc.Watz_tz.Soc.costs.Watz_tz.Simclock.smc_return_ns;
   {
     claim;
+    tier = config.tier;
     instance;
     wasi_env;
     ra_env;
     output;
     startup =
-      { transition_ns; alloc_ns; hash_ns; runtime_init_ns; load_ns; instantiate_ns; execute_ns };
+      {
+        transition_ns;
+        alloc_ns;
+        hash_ns;
+        runtime_init_ns;
+        load_ns;
+        instantiate_ns;
+        execute_ns;
+        cache_hit;
+      };
     session;
     soc;
   }
@@ -159,11 +203,14 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
     caller is charged one world round trip). *)
 let invoke app name args =
   Watz_tz.Soc.smc app.soc (fun () ->
-      try Watz_wasm.Aot.invoke app.instance name args
+      try Engine.invoke app.instance name args
       with Watz_wasm.Instance.Trap m -> raise (App_trap m))
 
 let output app = Buffer.contents app.output
 let claim app = app.claim
+
+(** The app's exported linear memory, if any. *)
+let export_memory app = Engine.export_memory app.instance
 
 let unload app = Watz_tz.Optee.close_session app.session
 

@@ -3,12 +3,17 @@
     Runs exactly the same Wasm binaries as {!Runtime}, with WASI bound
     to rich-OS facilities: no world switches, no shared-memory staging,
     no measurement, no attestation. Benchmarks compare this against
-    WaTZ to show the TEE adds no execution-speed penalty (Figs. 5/6/8). *)
+    WaTZ to show the TEE adds no execution-speed penalty (Figs. 5/6/8).
+
+    Like the trusted runtime it accepts an execution tier, which is how
+    the §III interpreter-vs-AOT ablation (and the new fast-interpreter
+    point in between) is driven. *)
 
 module Wasi = Watz_wasi.Wasi
 
 type app = {
-  instance : Watz_wasm.Aot.rinstance;
+  tier : Engine.tier;
+  instance : Engine.instance;
   wasi_env : Wasi.env;
   output : Buffer.t;
   startup_ns : float;
@@ -17,7 +22,7 @@ type app = {
 exception App_trap of string
 
 (** Load and optionally run [_start] in the normal world. *)
-let load ?(args = [ "app.wasm" ]) ?(entry = Some "_start") soc wasm_bytes =
+let load ?(tier = Engine.Aot) ?(args = [ "app.wasm" ]) ?(entry = Some "_start") soc wasm_bytes =
   let t0 = Unix.gettimeofday () in
   let output = Buffer.create 256 in
   let rng = Watz_util.Prng.create 0x77414d52L in
@@ -27,53 +32,22 @@ let load ?(args = [ "app.wasm" ]) ?(entry = Some "_start") soc wasm_bytes =
       ~random:(Watz_util.Prng.bytes rng)
       ~write_out:(Buffer.add_string output) ()
   in
-  let m = Watz_wasm.Decode.decode wasm_bytes in
-  Watz_wasm.Validate.validate m;
-  let instance = Watz_wasm.Aot.instantiate ~imports:(Wasi.aot_imports wasi_env) m in
-  Wasi.attach_aot_memory wasi_env instance;
+  let prepared = Engine.prepare tier wasm_bytes in
+  let instance = Engine.instantiate ~wasi_env prepared in
   (match entry with
   | None -> ()
   | Some name -> (
-    match Watz_wasm.Aot.export_func instance name with
-    | None -> ()
-    | Some f -> (
-      try ignore (Watz_wasm.Aot.invoke_funcinst instance f [])
-      with Wasi.Proc_exit code -> wasi_env.Wasi.exit_code <- Some code)));
+    try ignore (Engine.invoke_opt instance name [])
+    with Wasi.Proc_exit code -> wasi_env.Wasi.exit_code <- Some code));
   let startup_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
-  { instance; wasi_env; output; startup_ns }
+  { tier; instance; wasi_env; output; startup_ns }
 
 let invoke app name args =
-  try Watz_wasm.Aot.invoke app.instance name args
-  with Watz_wasm.Instance.Trap m -> raise (App_trap m)
+  try Engine.invoke app.instance name args with
+  | Watz_wasm.Instance.Trap m -> raise (App_trap m)
+  | Not_found -> raise (App_trap ("no export " ^ name))
 
 let output app = Buffer.contents app.output
 
-(** Interpreter-tier load (the ablation of §III's "28x" claim): same
-    module, tree-walking execution. *)
-type interp_app = { iinstance : Watz_wasm.Instance.t; iwasi : Wasi.env; ioutput : Buffer.t }
-
-let load_interp ?(args = [ "app.wasm" ]) soc wasm_bytes =
-  let output = Buffer.create 256 in
-  let rng = Watz_util.Prng.create 0x77414d52L in
-  let wasi_env =
-    Wasi.make_env ~args
-      ~clock_ns:(fun () -> Watz_tz.Soc.normal_world_clock_ns soc)
-      ~random:(Watz_util.Prng.bytes rng)
-      ~write_out:(Buffer.add_string output) ()
-  in
-  let m = Watz_wasm.Decode.decode wasm_bytes in
-  Watz_wasm.Validate.validate m;
-  let imports =
-    Watz_wasm.Instance.import_map_of_list
-      (List.map
-         (fun (mo, na, ext) -> (mo, na, ext))
-         (Wasi.interp_imports wasi_env))
-  in
-  let inst = Watz_wasm.Instance.instantiate ~imports m in
-  Wasi.attach_interp_memory wasi_env inst;
-  { iinstance = inst; iwasi = wasi_env; ioutput = output }
-
-let invoke_interp app name args =
-  match Watz_wasm.Instance.export_func app.iinstance name with
-  | None -> raise (App_trap ("no export " ^ name))
-  | Some f -> Watz_wasm.Interp.invoke f args
+(** The app's exported linear memory, if any. *)
+let export_memory app = Engine.export_memory app.instance

@@ -1,4 +1,12 @@
-type summary = { median : float; mean : float; stddev : float; min : float; max : float }
+type summary = {
+  median : float;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p95 : float;
+  p99 : float;
+}
 
 let median samples =
   if Array.length samples = 0 then invalid_arg "Stats.median";
@@ -7,6 +15,20 @@ let median samples =
   let n = Array.length sorted in
   if n mod 2 = 1 then sorted.(n / 2)
   else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+
+(* Linear-interpolation percentile (the common "exclusive median,
+   inclusive endpoints" definition; p in [0,100]). *)
+let percentile samples p =
+  if Array.length samples = 0 then invalid_arg "Stats.percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else sorted.(lo) +. ((rank -. float_of_int lo) *. (sorted.(hi) -. sorted.(lo)))
 
 let summarize samples =
   if Array.length samples = 0 then invalid_arg "Stats.summarize";
@@ -17,7 +39,15 @@ let summarize samples =
   in
   let min = Array.fold_left Float.min samples.(0) samples in
   let max = Array.fold_left Float.max samples.(0) samples in
-  { median = median samples; mean; stddev = sqrt var; min; max }
+  {
+    median = median samples;
+    mean;
+    stddev = sqrt var;
+    min;
+    max;
+    p95 = percentile samples 95.0;
+    p99 = percentile samples 99.0;
+  }
 
 let pp_ns ppf ns =
   if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
@@ -31,7 +61,10 @@ let time_ns f =
   let stop = Unix.gettimeofday () in
   ((stop -. start) *. 1e9, result)
 
-let measure ?(runs = 10) f =
+let measure ?(runs = 10) ?(warmup = 0) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
   let samples =
     Array.init runs (fun _ ->
         let ns, () = time_ns f in

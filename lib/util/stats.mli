@@ -1,12 +1,27 @@
 (** Summary statistics for benchmark reporting (the paper reports medians
-    and standard deviations of repeated runs). *)
+    and standard deviations of repeated runs; tail percentiles matter for
+    the interpreter-tier ablations). *)
 
-type summary = { median : float; mean : float; stddev : float; min : float; max : float }
+type summary = {
+  median : float;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p95 : float;
+  p99 : float;
+}
 
 val summarize : float array -> summary
 (** Raises [Invalid_argument] on an empty array. *)
 
 val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile samples p] is the [p]-th percentile (linear interpolation
+    between closest ranks), [p] in [0, 100]. Raises [Invalid_argument] on
+    an empty array or out-of-range [p]. *)
+
 val pp_ns : Format.formatter -> float -> unit
 (** Pretty-print a duration in nanoseconds with an adaptive unit. *)
 
@@ -14,6 +29,8 @@ val time_ns : (unit -> 'a) -> float * 'a
 (** [time_ns f] is the wall-clock duration of [f ()] in nanoseconds and
     its result. *)
 
-val measure : ?runs:int -> (unit -> unit) -> summary
-(** [measure ~runs f] times [runs] executions of [f] and summarizes the
-    per-run durations in nanoseconds. Default 10 runs. *)
+val measure : ?runs:int -> ?warmup:int -> (unit -> unit) -> summary
+(** [measure ~runs ~warmup f] executes [f] [warmup] untimed times (to
+    absorb first-run compilation and cache effects), then times [runs]
+    executions and summarizes the per-run durations in nanoseconds.
+    Defaults: 10 runs, no warmup. *)

@@ -233,6 +233,13 @@ let interp_imports env =
              ~results:s.fn_results (s.fn_impl env)) ))
     bindings
 
+let fast_imports env : Watz_wasm.Fastinterp.import_binding list =
+  List.map
+    (fun s ->
+      Watz_wasm.Fastinterp.host ~module_:module_name ~name:s.fn_name ~params:s.fn_params
+        ~results:s.fn_results (s.fn_impl env))
+    bindings
+
 (** Attach the instance's exported memory to the environment (must run
     before the first WASI call). *)
 let attach_aot_memory env inst =
@@ -240,3 +247,6 @@ let attach_aot_memory env inst =
 
 let attach_interp_memory env inst =
   env.memory <- Watz_wasm.Instance.export_memory inst "memory"
+
+let attach_fast_memory env inst =
+  env.memory <- Watz_wasm.Fastinterp.export_memory inst "memory"

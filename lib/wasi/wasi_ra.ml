@@ -241,6 +241,21 @@ let aot_imports env : Watz_wasm.Aot.import_binding list =
       Watz_wasm.Aot.host ~module_:module_name ~name ~params ~results impl)
     (bindings_for env)
 
+let interp_imports env =
+  List.map
+    (fun (name, params, results, impl) ->
+      ( module_name,
+        name,
+        Watz_wasm.Instance.Extern_func
+          (Watz_wasm.Instance.host_func ~name ~params ~results impl) ))
+    (bindings_for env)
+
+let fast_imports env : Watz_wasm.Fastinterp.import_binding list =
+  List.map
+    (fun (name, params, results, impl) ->
+      Watz_wasm.Fastinterp.host ~module_:module_name ~name ~params ~results impl)
+    (bindings_for env)
+
 (** MiniC import declarations matching {!bindings_for}, for apps that
     use the attestation API. *)
 let minic_imports : Watz_wasmc.Minic.import_decl list =

@@ -539,7 +539,7 @@ module Dsl = struct
   let to_i32 e = CastE (I32, e)
 
   (** f64 array addressing: element [idx] of the array at byte [base]. *)
-  let f64_addr base idx = BinE (Add, base, BinE (Mul, idx, IntE 8))
+  let f64_addr base idx = BinE (Add, BinE (Mul, idx, IntE 8), base)
 
   let f64_get base idx = LoadE (F64, f64_addr base idx)
   let f64_set base idx value = StoreS (F64, f64_addr base idx, value)
@@ -548,7 +548,7 @@ module Dsl = struct
   let f64_get2 base cols r c = f64_get base (BinE (Add, BinE (Mul, r, cols), c))
   let f64_set2 base cols r c value = f64_set base (BinE (Add, BinE (Mul, r, cols), c)) value
 
-  let i32_addr base idx = BinE (Add, base, BinE (Mul, idx, IntE 4))
+  let i32_addr base idx = BinE (Add, BinE (Mul, idx, IntE 4), base)
   let i32_get base idx = LoadE (I32, i32_addr base idx)
   let i32_set base idx value = StoreS (I32, i32_addr base idx, value)
 

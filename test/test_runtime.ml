@@ -252,6 +252,76 @@ let test_wasi_ra_connection_refused () =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* ------------------------------------------------------------------ *)
+(* Execution tiers and the measurement-keyed module cache *)
+
+let compute_app () =
+  Dsl.program
+    [
+      fn "run" [ ("n", I32) ] (Some I32)
+        [
+          decl "s" I32 (i 0);
+          for_ "k" (i 0) (v "n") [ set "s" (v "s" + (v "k" * v "k")) ];
+          ret (v "s");
+        ];
+    ]
+
+let test_all_tiers_agree () =
+  let soc = booted_soc "dev" in
+  let bytes = compile_to_bytes (compute_app ()) in
+  let run tier =
+    let config = { Runtime.default_config with Runtime.tier } in
+    let app = Runtime.load ~config ~entry:None soc bytes in
+    let r = Runtime.invoke app "run" [ Watz_wasm.Ast.VI32 1000l ] in
+    Alcotest.(check string) "tier recorded" (Watz.Engine.tier_name tier)
+      (Watz.Engine.tier_name app.Runtime.tier);
+    Runtime.unload app;
+    r
+  in
+  let results = List.map run Watz.Engine.all_tiers in
+  match results with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "interp = fast" true (Stdlib.( = ) a b);
+    Alcotest.(check bool) "fast = aot" true (Stdlib.( = ) b c)
+  | _ -> Alcotest.fail "expected three tiers"
+
+let test_module_cache_hits () =
+  Runtime.cache_clear ();
+  let soc = booted_soc "dev" in
+  let bytes = compile_to_bytes (compute_app ()) in
+  let config = { Runtime.default_config with Runtime.tier = Runtime.Fast } in
+  let app1 = Runtime.load ~config ~entry:None soc bytes in
+  Alcotest.(check bool) "first load is a miss" false app1.Runtime.startup.Runtime.cache_hit;
+  Alcotest.(check int) "one cached module" 1 (Runtime.cache_size ());
+  let app2 = Runtime.load ~config ~entry:None soc bytes in
+  Alcotest.(check bool) "second load hits" true app2.Runtime.startup.Runtime.cache_hit;
+  Alcotest.(check int) "still one cached module" 1 (Runtime.cache_size ());
+  let r1 = Runtime.invoke app1 "run" [ Watz_wasm.Ast.VI32 100l ] in
+  let r2 = Runtime.invoke app2 "run" [ Watz_wasm.Ast.VI32 100l ] in
+  Alcotest.(check bool) "cached instance agrees" true (Stdlib.( = ) r1 r2);
+  (* A different tier is a different cache entry, not a hit. *)
+  let aot_config = { Runtime.default_config with Runtime.tier = Runtime.Aot } in
+  let app3 = Runtime.load ~config:aot_config ~entry:None soc bytes in
+  Alcotest.(check bool) "other tier misses" false app3.Runtime.startup.Runtime.cache_hit;
+  Alcotest.(check int) "two cache entries" 2 (Runtime.cache_size ());
+  Runtime.unload app1;
+  Runtime.unload app2;
+  Runtime.unload app3;
+  Runtime.cache_clear ();
+  Alcotest.(check int) "cache cleared" 0 (Runtime.cache_size ())
+
+let test_module_cache_opt_out () =
+  Runtime.cache_clear ();
+  let soc = booted_soc "dev" in
+  let bytes = compile_to_bytes (compute_app ()) in
+  let config = { Runtime.default_config with Runtime.use_cache = false } in
+  let app1 = Runtime.load ~config ~entry:None soc bytes in
+  let app2 = Runtime.load ~config ~entry:None soc bytes in
+  Alcotest.(check bool) "no hit without cache" false app2.Runtime.startup.Runtime.cache_hit;
+  Alcotest.(check int) "nothing cached" 0 (Runtime.cache_size ());
+  Runtime.unload app1;
+  Runtime.unload app2
+
 let suite =
   [
     ( "runtime.launch",
@@ -265,6 +335,12 @@ let suite =
         case "heap budget enforced" test_heap_budget_enforced;
         case "oversized binary rejected" test_oversized_binary_rejected;
         case "traps contained by sandbox" test_trap_is_contained;
+      ] );
+    ( "runtime.tiers",
+      [
+        case "all tiers agree" test_all_tiers_agree;
+        case "module cache hits by measurement" test_module_cache_hits;
+        case "cache opt-out" test_module_cache_opt_out;
       ] );
     ( "runtime.wasi_ra",
       [

@@ -1,6 +1,7 @@
 (* Tests for the from-scratch Wasm engine: codec roundtrips, validator
-   accept/reject, semantics of both execution tiers, and differential
-   interp-vs-AOT checks (both tiers must agree on every program). *)
+   accept/reject, semantics of all three execution tiers, and
+   differential interp-vs-fast-vs-AOT checks (every tier must agree on
+   every program, including traps). *)
 
 open Watz_wasm
 open Types
@@ -23,8 +24,8 @@ let value_testable =
   in
   Alcotest.testable pp eq
 
-(* Run an exported function in both tiers and check they agree with
-   [expected]. *)
+(* Run an exported function on all three execution tiers and check they
+   agree: tree-walking interpreter, pre-decoded fast interpreter, AOT. *)
 let run_both m name args =
   Validate.validate m;
   let inst = Instance.instantiate m in
@@ -33,6 +34,9 @@ let run_both m name args =
     | Some f -> Interp.invoke f args
     | None -> Alcotest.failf "no export %s" name
   in
+  let finst = Fastinterp.instantiate (Fastinterp.compile m) in
+  let fast_result = Fastinterp.invoke finst name args in
+  Alcotest.(check (list value_testable)) (name ^ ": interp = fast") interp_result fast_result;
   let rinst = Aot.instantiate m in
   let aot_result = Aot.invoke rinst name args in
   Alcotest.(check (list value_testable)) (name ^ ": interp = aot") interp_result aot_result;
@@ -78,6 +82,12 @@ let expect_trap m name args msg_fragment =
   | _ -> Alcotest.failf "interp: expected trap %s" msg_fragment
   | exception Instance.Trap msg ->
     Alcotest.(check bool) ("interp trap: " ^ msg) true
+      (Astring.String.is_infix ~affix:msg_fragment msg
+       || String.length msg_fragment = 0));
+  (match Fastinterp.invoke (Fastinterp.instantiate (Fastinterp.compile m)) name args with
+  | _ -> Alcotest.failf "fast: expected trap %s" msg_fragment
+  | exception Instance.Trap msg ->
+    Alcotest.(check bool) ("fast trap: " ^ msg) true
       (Astring.String.is_infix ~affix:msg_fragment msg
        || String.length msg_fragment = 0));
   let rinst = Aot.instantiate m in
@@ -667,7 +677,7 @@ let balance_program instrs =
   fixed @ tail
 
 let qcheck_differential =
-  QCheck.Test.make ~name:"interp = aot on random straight-line programs" ~count:300
+  QCheck.Test.make ~name:"interp = fast = aot on random straight-line programs" ~count:300
     (QCheck.make random_program_gen)
     (fun instrs ->
       let body = balance_program instrs in
@@ -676,9 +686,10 @@ let qcheck_differential =
       let inst = Instance.instantiate m in
       let args = [ VI32 123456l; VI32 (-789l) ] in
       let a = Interp.invoke (Option.get (Instance.export_func inst "f")) args in
+      let fa = Fastinterp.invoke (Fastinterp.instantiate (Fastinterp.compile m)) "f" args in
       let rinst = Aot.instantiate m in
       let b = Aot.invoke rinst "f" args in
-      a = b)
+      a = fa && a = b)
 
 let qcheck_codec_roundtrip_random =
   QCheck.Test.make ~name:"encode/decode roundtrip on random programs" ~count:200

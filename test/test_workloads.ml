@@ -35,6 +35,37 @@ let polybench_parity_cases =
           Alcotest.(check (float 0.0)) (k.PB.name ^ " native = wasm") native wasm))
     PB.all
 
+(* Differential check: every kernel must produce a bit-identical f64
+   checksum on the tree-walking interpreter, the pre-decoded fast
+   interpreter, and the AOT tier. *)
+let run_three_tiers program =
+  let m = Watz_wasmc.Minic.compile program in
+  Watz_wasm.Validate.validate m;
+  let f64 = function
+    | [ Watz_wasm.Ast.VF64 x ] -> x
+    | _ -> Alcotest.fail "expected one f64"
+  in
+  let inst = Watz_wasm.Instance.instantiate m in
+  let interp =
+    f64 (Watz_wasm.Interp.invoke (Option.get (Watz_wasm.Instance.export_func inst "run")) [])
+  in
+  let fast =
+    f64 (Watz_wasm.Fastinterp.invoke (Watz_wasm.Fastinterp.instantiate (Watz_wasm.Fastinterp.compile m)) "run" [])
+  in
+  let aot = f64 (Watz_wasm.Aot.invoke (Watz_wasm.Aot.instantiate m) "run" []) in
+  (interp, fast, aot)
+
+let tier_differential_cases =
+  let bits = Int64.bits_of_float in
+  let check name program =
+    Alcotest.test_case name `Quick (fun () ->
+        let interp, fast, aot = run_three_tiers program in
+        Alcotest.(check int64) (name ^ ": interp = fast") (bits interp) (bits fast);
+        Alcotest.(check int64) (name ^ ": interp = aot") (bits interp) (bits aot))
+  in
+  List.map (fun k -> check k.PB.name k.PB.program) PB.all
+  @ List.map (fun e -> check (Printf.sprintf "st-%d" e.ST.id) e.ST.program) ST.all
+
 let test_polybench_interp_agrees () =
   (* Spot-check the interpreter tier on a few kernels. *)
   List.iter
@@ -162,6 +193,47 @@ let test_genann_wasm_bit_identical () =
   Alcotest.(check (float 1e-12)) "accuracy agrees"
     (float_of_int hits /. float_of_int n_records)
     acc_wasm
+
+let test_genann_tiers_bit_identical () =
+  (* The same training run must produce bit-identical weights on all
+     three execution tiers. *)
+  let records = Iris.generate ~seed:11L () in
+  let data = Iris.to_bytes records in
+  let n_records = Array.length records in
+  let rng = Watz_util.Prng.create 3L in
+  let net = G.create ~inputs:4 ~hidden_layers:1 ~hidden:4 ~outputs:3 ~rng in
+  let initial = Array.copy net.G.weights in
+  let m = Watz_wasmc.Minic.compile (GW.program ~mem_pages:2 ()) in
+  Watz_wasm.Validate.validate m;
+  let train_on ~invoke ~memory =
+    GW.seed_weights ~invoke initial;
+    GW.write_dataset memory data;
+    GW.train ~invoke ~n_records ~epochs:1 ~rate:0.7;
+    GW.read_weights ~invoke
+  in
+  let interp_w =
+    let inst = Watz_wasm.Instance.instantiate m in
+    let invoke name args =
+      Watz_wasm.Interp.invoke (Option.get (Watz_wasm.Instance.export_func inst name)) args
+    in
+    train_on ~invoke ~memory:(Option.get (Watz_wasm.Instance.export_memory inst "memory"))
+  in
+  let fast_w =
+    let inst = Watz_wasm.Fastinterp.instantiate (Watz_wasm.Fastinterp.compile m) in
+    let invoke name args = Watz_wasm.Fastinterp.invoke inst name args in
+    train_on ~invoke ~memory:(Option.get (Watz_wasm.Fastinterp.export_memory inst "memory"))
+  in
+  let aot_w =
+    let inst = Watz_wasm.Aot.instantiate m in
+    let invoke name args = Watz_wasm.Aot.invoke inst name args in
+    train_on ~invoke ~memory:(Option.get (Watz_wasm.Aot.export_memory inst "memory"))
+  in
+  Array.iteri
+    (fun k w ->
+      let bits = Int64.bits_of_float in
+      Alcotest.(check int64) (Printf.sprintf "weight %d interp = fast" k) (bits w) (bits fast_w.(k));
+      Alcotest.(check int64) (Printf.sprintf "weight %d interp = aot" k) (bits w) (bits aot_w.(k)))
+    interp_w
 
 (* ------------------------------------------------------------------ *)
 (* Iris *)
@@ -382,12 +454,14 @@ let suite =
       :: case "interp tier agrees" test_polybench_interp_agrees
       :: polybench_parity_cases);
     ("workloads.speedtest", case "read/write mix" test_speedtest_mix :: speedtest_parity_cases);
+    ("workloads.tier_differential", tier_differential_cases);
     ( "workloads.genann",
       [
         case "structure" test_genann_structure;
         case "learns xor" test_genann_learns_xor_shape;
         case "trains on iris" test_genann_trains_on_iris;
         case "wasm bit-identical training" test_genann_wasm_bit_identical;
+        case "three tiers bit-identical" test_genann_tiers_bit_identical;
       ] );
     ( "workloads.iris",
       [
