@@ -21,6 +21,7 @@ module P = Watz_attest.Protocol
 module Stats = Watz_util.Stats
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let booted seed =
   let soc = Soc.manufacture ~seed () in
@@ -540,6 +541,56 @@ let fast_ablation () =
   Printf.printf "  (target: fast >= 5x median over the tree-walking interpreter, identical results)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Attestation under faults: the storm bench. One row per named fault
+   profile; completion rate and per-session latency percentiles. *)
+
+let attest_storm () =
+  section "Attestation storm - completion and latency per fault profile";
+  let module Storm = Watz.Storm in
+  let sessions = if smoke || quick then 32 else 64 in
+  let seed = 0xa77e57L in
+  Printf.printf "  %d concurrent sessions per profile, seed %Ld\n" sessions seed;
+  Printf.printf "  %-10s %5s %6s %7s %8s %8s %9s %9s %9s %7s\n" "profile" "done" "rate" "aborted"
+    "retries" "faults" "p50(ms)" "p95(ms)" "p99(ms)" "ticks";
+  (* Profiles that tamper with payloads are expected to kill sessions;
+     everything else must converge (the >=99% acceptance criterion). *)
+  let tampering = [ "corrupt"; "truncate"; "mitm-flip" ] in
+  let failures = ref [] in
+  List.iter
+    (fun (name, profile) ->
+      let config = { Storm.default_config with Storm.sessions = sessions; seed; profile } in
+      let r = Storm.run ~config () in
+      let rate = Storm.completion_rate r in
+      let total_faults = List.fold_left (fun a (_, v) -> a + v) 0 r.Storm.faults in
+      let lat p =
+        match r.Storm.latency with None -> "-" | Some s -> Printf.sprintf "%.2f" (ns_to_ms (p s))
+      in
+      Printf.printf "  %-10s %5d %5.1f%% %7d %8d %8d %9s %9s %9s %7d\n" name r.Storm.completed
+        (100.0 *. rate) r.Storm.aborted r.Storm.retries total_faults
+        (lat (fun s -> s.Stats.median))
+        (lat (fun s -> s.Stats.p95))
+        (lat (fun s -> s.Stats.p99))
+        r.Storm.ticks;
+      if List.mem name tampering then begin
+        (* Probabilistic corrupt/truncate legitimately complete the
+           sessions they never touched; the per-segment MITM must
+           complete none. *)
+        if name = "mitm-flip" && r.Storm.completed <> 0 then
+          failures := Printf.sprintf "%s: %d sessions completed under tampering" name r.Storm.completed :: !failures
+      end
+      else if rate < 0.99 then
+        failures := Printf.sprintf "%s: completion %.1f%% < 99%%" name (100.0 *. rate) :: !failures)
+    Storm.profiles;
+  Printf.printf
+    "  (lossy = drop 8%% + dup 5%% + reorder 8%% + delay 25%% + chunk 15%%; tampering profiles\n";
+  Printf.printf "   corrupt/truncate/mitm-flip are expected to abort, with typed errors only)\n";
+  match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "  FAIL: %s\n" f) fs;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family. *)
 
 let micro () =
@@ -616,11 +667,15 @@ let all_targets =
   [
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("table2", table2);
     ("table3", table3); ("fig7", fig7); ("table4", table4); ("fig8", fig8);
-    ("aot-ablation", aot_ablation); ("fast-ablation", fast_ablation); ("micro", micro);
+    ("aot-ablation", aot_ablation); ("fast-ablation", fast_ablation);
+    ("attest-storm", attest_storm); ("micro", micro);
   ]
 
 let () =
-  let requested = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick") in
+  let requested =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--quick" && a <> "--smoke")
+  in
   let to_run =
     match requested with
     | [] -> all_targets

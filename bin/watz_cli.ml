@@ -8,6 +8,7 @@
      measure <file.wasm>       print the attestation claim of a binary
      run <file.wasm> [entry]   launch a Wasm binary inside WaTZ
      attest                    run a full remote attestation end to end
+     attest-storm              many concurrent attestations over a faulty network
      verify-protocol           run the Dolev-Yao analysis of Table II
      sql <statement...>        execute SQL against an in-enclave MiniDB *)
 
@@ -110,6 +111,54 @@ let attest_cmd =
   Cmd.v (Cmd.info "attest" ~doc:"Run the remote attestation protocol end to end")
     Term.(const run $ const ())
 
+let attest_storm_cmd =
+  let sessions =
+    Arg.(
+      value & opt int 32
+      & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent attestation sessions.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 0xa77e57L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-schedule PRNG seed (replays exactly).")
+  in
+  let profile =
+    let names = String.concat ", " (List.map fst Watz.Storm.profiles) in
+    Arg.(
+      value & opt string "lossy"
+      & info [ "profile" ] ~docv:"NAME" ~doc:(Printf.sprintf "Fault profile: %s." names))
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Small, fast run (8 sessions) for CI; still asserts completion.")
+  in
+  let run sessions seed profile_name smoke =
+    match Watz.Storm.profile_named profile_name with
+    | None ->
+      Printf.eprintf "unknown profile %S; known: %s\n" profile_name
+        (String.concat ", " (List.map fst Watz.Storm.profiles));
+      exit 2
+    | Some profile ->
+      let sessions = if smoke then min sessions 8 else sessions in
+      let config = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile } in
+      let r = Watz.Storm.run ~config () in
+      Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed Watz.Storm.pp_report r;
+      (* Under non-tampering profiles, not completing is a failure. *)
+      let tampering =
+        List.mem profile_name [ "corrupt"; "truncate"; "mitm-flip" ]
+      in
+      if (not tampering) && Watz.Storm.completion_rate r < 0.99 then begin
+        Printf.eprintf "FAIL: completion rate %.1f%% below 99%%\n"
+          (100.0 *. Watz.Storm.completion_rate r);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "attest-storm"
+       ~doc:"Run many concurrent attestation sessions over a fault-injected network")
+    Term.(const run $ sessions $ seed $ profile $ smoke)
+
 let verify_protocol_cmd =
   let run () =
     List.iter
@@ -142,4 +191,7 @@ let sql_cmd =
 
 let () =
   let info = Cmd.info "watz" ~version:"1.0" ~doc:"WaTZ trusted Wasm runtime simulator" in
-  exit (Cmd.eval (Cmd.group info [ boot_cmd; measure_cmd; run_cmd; attest_cmd; verify_protocol_cmd; sql_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ boot_cmd; measure_cmd; run_cmd; attest_cmd; attest_storm_cmd; verify_protocol_cmd; sql_cmd ]))

@@ -61,6 +61,8 @@ type error =
   | Unknown_measurement
   | Decrypt_failed
   | Malformed of string
+  | Timed_out of string
+  | Connection_lost of string
 
 let pp_error ppf = function
   | Bad_mac where -> Format.fprintf ppf "MAC verification failed on %s" where
@@ -75,6 +77,8 @@ let pp_error ppf = function
   | Unknown_measurement -> Format.fprintf ppf "code measurement matches no reference value"
   | Decrypt_failed -> Format.fprintf ppf "secret blob failed authenticated decryption"
   | Malformed what -> Format.fprintf ppf "malformed message: %s" what
+  | Timed_out state -> Format.fprintf ppf "deadline expired while %s" state
+  | Connection_lost why -> Format.fprintf ppf "connection lost: %s" why
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
@@ -116,6 +120,13 @@ module Attester = struct
     mutable session : C.Kdf.session_keys option;
     mutable anchor : string option;
     mutable state : state;
+    (* Retransmission memory: over a lossy transport the peer may resend
+       a message we already processed; a byte-identical retransmit must
+       be answered from cache instead of corrupting session state. *)
+    mutable last_msg1 : string option;
+    mutable msg2_cache : string option;
+    mutable last_msg3 : string option;
+    mutable blob : string option;
   }
 
   (** [create ~random ~expected_verifier] makes a fresh session: an
@@ -124,7 +135,18 @@ module Attester = struct
   let create ~random ~expected_verifier =
     let meter = fresh_meter () in
     let keys = timed meter Keygen (fun () -> C.Ecdh.generate ~random) in
-    { keys; expected_verifier; meter; session = None; anchor = None; state = Expect_msg1 }
+    {
+      keys;
+      expected_verifier;
+      meter;
+      session = None;
+      anchor = None;
+      state = Expect_msg1;
+      last_msg1 = None;
+      msg2_cache = None;
+      last_msg3 = None;
+      blob = None;
+    }
 
   let meter t = t.meter
 
@@ -136,7 +158,11 @@ module Attester = struct
       application must have attested (via the attestation service)
       before calling {!msg2}. *)
   let handle_msg1 t raw : (string, error) result =
-    if t.state <> Expect_msg1 then Error (Malformed "attester: unexpected msg1")
+    if t.state <> Expect_msg1 then begin
+      match (t.last_msg1, t.anchor) with
+      | Some prev, Some anchor when String.equal prev raw -> Ok anchor (* retransmit: idempotent *)
+      | _ -> Error (Malformed "attester: unexpected msg1")
+    end
     else begin
       let expected_len = point_len + point_len + sig_len + mac_len in
       if String.length raw <> expected_len then Error (Malformed "msg1 length")
@@ -174,6 +200,7 @@ module Attester = struct
               let anchor = anchor_of ~ga:ga_raw ~gv:gv_raw in
               t.session <- Some session;
               t.anchor <- Some anchor;
+              t.last_msg1 <- Some raw;
               t.state <- Need_evidence;
               Ok anchor
             end
@@ -191,11 +218,23 @@ module Attester = struct
       let content2 = ga_raw ^ evidence in
       let tag2 = mac t.meter session.C.Kdf.k_m content2 in
       t.state <- Expect_msg3;
-      Ok (content2 ^ tag2)
+      let m2 = content2 ^ tag2 in
+      t.msg2_cache <- Some m2;
+      Ok m2
+    | Expect_msg3, Some _ -> (
+      (* Rebuilding msg2 for a retransmission must not re-derive state. *)
+      match t.msg2_cache with
+      | Some m2 -> Ok m2
+      | None -> Error (Malformed "attester: msg2 already consumed"))
     | _, _ -> Error (Malformed "attester: msg2 before handshake")
 
   let handle_msg3 t raw : (string, error) result =
-    if t.state <> Expect_msg3 then Error (Malformed "attester: unexpected msg3")
+    if t.state = Complete then begin
+      match (t.last_msg3, t.blob) with
+      | Some prev, Some blob when String.equal prev raw -> Ok blob (* retransmit: idempotent *)
+      | _ -> Error (Malformed "attester: unexpected msg3")
+    end
+    else if t.state <> Expect_msg3 then Error (Malformed "attester: unexpected msg3")
     else
       match t.session with
       | None -> Error (Malformed "attester: no session keys")
@@ -216,6 +255,8 @@ module Attester = struct
             Error Decrypt_failed
           | Some blob ->
             t.state <- Complete;
+            t.last_msg3 <- Some raw;
+            t.blob <- Some blob;
             Ok blob
         end
 end
@@ -252,9 +293,17 @@ module Verifier = struct
     session_keys : C.Kdf.session_keys;
     meter : meter;
     mutable accepted_evidence : Evidence.signed option;
+    mutable msg1 : string; (* cached reply, resent on a msg0 retransmit *)
+    mutable msg2_cache : (string * string) option; (* (raw msg2, msg3 reply) *)
   }
 
   let meter s = s.meter
+
+  (** A byte-identical copy of the msg0 that opened this session: the
+      attester never saw msg1 and is retransmitting; answer from cache. *)
+  let is_msg0_retransmit session raw = String.equal raw session.ga_raw
+
+  let msg1_reply session = session.msg1
 
   (** Handle msg0: generate the verifier's ephemeral pair and the
       shared secrets (②), sign both session keys (③), reply msg1. *)
@@ -275,10 +324,20 @@ module Verifier = struct
         in
         let content1 = gv_raw ^ v_raw ^ signature in
         let tag = mac meter session_keys.C.Kdf.k_m content1 in
+        let m1 = content1 ^ tag in
         let session =
-          { policy; keys; ga_raw = raw; session_keys; meter; accepted_evidence = None }
+          {
+            policy;
+            keys;
+            ga_raw = raw;
+            session_keys;
+            meter;
+            accepted_evidence = None;
+            msg1 = m1;
+            msg2_cache = None;
+          }
         in
-        Ok (session, content1 ^ tag)
+        Ok (session, m1)
     end
 
   (** Handle msg2: the full appraisal of §IV(d) — MAC, session-key
@@ -286,6 +345,12 @@ module Verifier = struct
       policy and reference values. On success, msg3 carries the secret
       blob under AES-GCM. *)
   let handle_msg2 session ~random raw : (string, error) result =
+    match session.msg2_cache with
+    | Some (prev, m3) when String.equal prev raw -> Ok m3 (* retransmit: idempotent *)
+    | _ when session.accepted_evidence <> None ->
+      (* A *different* msg2 after acceptance must not reopen appraisal. *)
+      Error (Malformed "verifier: msg2 after completed appraisal")
+    | _ ->
     if String.length raw < point_len + mac_len then Error (Malformed "msg2 length")
     else begin
       let content2 = String.sub raw 0 (String.length raw - mac_len) in
@@ -329,7 +394,9 @@ module Verifier = struct
                   C.Gcm.encrypt ~key:session.session_keys.C.Kdf.k_e ~iv
                     session.policy.secret_blob)
             in
-            Ok (iv ^ ct ^ gcm_tag)
+            let m3 = iv ^ ct ^ gcm_tag in
+            session.msg2_cache <- Some (raw, m3);
+            Ok m3
           end
       end
     end

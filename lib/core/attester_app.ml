@@ -1,0 +1,181 @@
+(** The attester's protocol driver over the (possibly faulty) simulated
+    network: a non-blocking state machine with per-state deadlines and
+    bounded exponential-backoff retransmission.
+
+    The protocol endpoints in {!Watz_attest.Protocol} are pure; this
+    driver supplies everything a lossy transport demands of them:
+
+    - every outbound message is remembered and retransmitted when its
+      deadline (on the simulated clock) expires, with the timeout
+      growing by [retry.backoff] each attempt, up to
+      [retry.max_retries] attempts before the session aborts with
+      {!Watz_attest.Protocol.Timed_out};
+    - inbound retransmissions (a duplicated or delayed msg1 arriving
+      while we await msg3) are recognized through the protocol's
+      idempotent handlers and answered by resending msg2 instead of
+      corrupting session state;
+    - transport failures ({!Watz_tz.Net.Peer_closed}, stream ends,
+      frame violations) surface as typed {!Watz_attest.Protocol.error}
+      values — never as escaping exceptions. *)
+
+module P = Watz_attest.Protocol
+
+type retry = {
+  initial_timeout_ns : int64; (* first deadline after a send *)
+  backoff : float; (* timeout multiplier per retransmission *)
+  max_retries : int; (* retransmissions, not counting the first send *)
+}
+
+(* Tuned to the storm scheduler's 1 ms quantum: the first deadline
+   covers a max-delay segment both ways, and the total budget
+   (~1.2 s of simulated time) stays under the verifier's 2 s session
+   eviction. *)
+let default_retry = { initial_timeout_ns = 4_000_000L; backoff = 1.6; max_retries = 10 }
+
+type phase = Await_msg1 | Await_msg3 | Finished
+type outcome = Pending | Done of string | Aborted of P.error
+
+type t = {
+  soc : Watz_tz.Soc.t;
+  conn : Watz_tz.Net.conn;
+  proto : P.Attester.t;
+  issue : anchor:string -> string; (* encoded evidence for the anchor *)
+  retry : retry;
+  mutable phase : phase;
+  mutable outcome : outcome;
+  mutable outstanding : string; (* last frame sent; retransmitted on deadline *)
+  mutable timeout_ns : int64; (* current (backed-off) timeout *)
+  mutable deadline_ns : int64;
+  mutable retries_left : int;
+  mutable retries : int; (* retransmissions performed, for reporting *)
+  started_ns : int64;
+  mutable finished_ns : int64;
+}
+
+let now t = Watz_tz.Soc.now_ns t.soc
+
+let arm t =
+  t.deadline_ns <- Int64.add (now t) t.timeout_ns
+
+(* Fresh deadline for a new protocol state: the backoff restarts. *)
+let rearm_fresh t =
+  t.timeout_ns <- t.retry.initial_timeout_ns;
+  t.retries_left <- t.retry.max_retries;
+  arm t
+
+let finish t outcome =
+  t.outcome <- outcome;
+  t.phase <- Finished;
+  t.finished_ns <- now t;
+  Watz_tz.Net.close t.conn
+
+let abort t err = finish t (Aborted err)
+
+(* Send a frame, converting a dead link into a typed abort. Returns
+   [false] when the session just died. *)
+let send t frame =
+  match Watz_tz.Net.send_frame t.conn frame with
+  | () -> true
+  | exception Watz_tz.Net.Peer_closed ->
+    abort t (P.Connection_lost "attester: peer closed");
+    false
+
+(** Open a connection to the verifier's port and send msg0. The
+    attester's protocol state (ephemeral key generation included) runs
+    in the secure world; [issue] must return encoded evidence for the
+    session anchor (normally by asking the attestation service). *)
+let start ?(retry = default_retry) soc ~port ~random ~expected_verifier ~issue =
+  let conn = Watz_tz.Net.connect soc.Watz_tz.Soc.net ~port in
+  let proto =
+    Watz_tz.Soc.smc soc (fun () -> P.Attester.create ~random ~expected_verifier)
+  in
+  let m0 = P.Attester.msg0 proto in
+  let t =
+    {
+      soc;
+      conn;
+      proto;
+      issue;
+      retry;
+      phase = Await_msg1;
+      outcome = Pending;
+      outstanding = m0;
+      timeout_ns = retry.initial_timeout_ns;
+      deadline_ns = 0L;
+      retries_left = retry.max_retries;
+      retries = 0;
+      started_ns = Watz_tz.Soc.now_ns soc;
+      finished_ns = 0L;
+    }
+  in
+  arm t;
+  ignore (send t m0 : bool);
+  t
+
+let outcome t = t.outcome
+let retries t = t.retries
+let started_ns t = t.started_ns
+let finished_ns t = t.finished_ns
+
+let handle_frame t frame =
+  match t.phase with
+  | Finished -> ()
+  | Await_msg1 -> (
+    match Watz_tz.Soc.smc t.soc (fun () -> P.Attester.handle_msg1 t.proto frame) with
+    | Error e -> abort t e
+    | Ok anchor -> (
+      let evidence = t.issue ~anchor in
+      match Watz_tz.Soc.smc t.soc (fun () -> P.Attester.msg2 t.proto ~evidence) with
+      | Error e -> abort t e
+      | Ok m2 ->
+        t.outstanding <- m2;
+        if send t m2 then begin
+          t.phase <- Await_msg3;
+          rearm_fresh t
+        end))
+  | Await_msg3 -> (
+    (* A duplicated/delayed msg1 can land while we await msg3: the
+       idempotent handler recognizes the byte-identical retransmit (and
+       rejects anything else without touching state), and we answer it
+       by resending msg2 rather than mis-parsing it as msg3. *)
+    match Watz_tz.Soc.smc t.soc (fun () -> P.Attester.handle_msg1 t.proto frame) with
+    | Ok _anchor -> ignore (send t t.outstanding)
+    | Error _ -> (
+      match Watz_tz.Soc.smc t.soc (fun () -> P.Attester.handle_msg3 t.proto frame) with
+      | Ok blob -> finish t (Done blob)
+      | Error e -> abort t e))
+
+let on_deadline t =
+  if t.retries_left <= 0 then
+    abort t
+      (P.Timed_out
+         (match t.phase with
+         | Await_msg1 -> "attester: awaiting msg1"
+         | Await_msg3 -> "attester: awaiting msg3"
+         | Finished -> "attester: finished"))
+  else begin
+    t.retries_left <- t.retries_left - 1;
+    t.retries <- t.retries + 1;
+    t.timeout_ns <-
+      Int64.of_float (Int64.to_float t.timeout_ns *. t.retry.backoff);
+    if send t t.outstanding then arm t
+  end
+
+(** One scheduling quantum: consume every complete frame, then check
+    the retransmission deadline. Terminal states are absorbing. *)
+let step t =
+  let rec drain () =
+    if t.outcome = Pending then
+      match Watz_tz.Net.recv_frame_ex t.conn with
+      | Watz_tz.Net.Frame frame ->
+        handle_frame t frame;
+        drain ()
+      | Watz_tz.Net.Awaiting ->
+        if Int64.compare (now t) t.deadline_ns >= 0 then on_deadline t
+      | Watz_tz.Net.Closed_by_peer ->
+        abort t (P.Connection_lost "attester: stream ended mid-protocol")
+      | Watz_tz.Net.Frame_violation e ->
+        abort t
+          (P.Malformed (Format.asprintf "frame: %a" Watz_tz.Net.pp_frame_error e))
+  in
+  drain ()

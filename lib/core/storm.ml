@@ -1,0 +1,198 @@
+(** Attestation storm: many concurrent attesters against one verifier
+    listener over a fault-injected link, driven tick by tick.
+
+    One simulated board hosts both sides (as in the paper's evaluation
+    setup); the normal-world network between them runs a configurable
+    {!Watz_tz.Net.fault_profile}. Each scheduler tick advances the link
+    layer, the verifier server, every live attester, and the simulated
+    clock by one quantum. The run ends when every session reached a
+    terminal state (or [max_ticks] expired), and the report carries the
+    completion rate, abort histogram, retransmission and fault counts,
+    and per-session latency percentiles the bench prints. *)
+
+module P = Watz_attest.Protocol
+module Net = Watz_tz.Net
+module Soc = Watz_tz.Soc
+module Stats = Watz_util.Stats
+
+type config = {
+  sessions : int; (* concurrent attesters *)
+  seed : int64; (* fault-layer PRNG seed; log it, replay it *)
+  profile : Net.fault_profile;
+  retry : Attester_app.retry;
+  stagger : int; (* sessions launched per tick *)
+  quantum_ns : int; (* simulated time per tick *)
+  max_ticks : int; (* hard stop for never-converging profiles *)
+}
+
+let default_config =
+  {
+    sessions = 32;
+    seed = 0xa77e57L;
+    profile = Net.lossy;
+    retry = Attester_app.default_retry;
+    stagger = 4;
+    quantum_ns = 1_000_000;
+    max_ticks = 20_000;
+  }
+
+(* Flip the first payload byte of every segment, leaving the length
+   prefix intact: the frame still parses, its content no longer
+   authenticates. *)
+let mitm_flip data =
+  if String.length data = 0 then data
+  else begin
+    let i = min 4 (String.length data - 1) in
+    String.mapi (fun k c -> if k = i then Char.chr (Char.code c lxor 0x01) else c) data
+  end
+
+(** Named fault profiles for the CLI, the bench table and the tests:
+    each isolates one fault family; [lossy] is the acceptance-criteria
+    mix (loss + ordering + timing, no tampering). *)
+let profiles : (string * Net.fault_profile) list =
+  [
+    ("perfect", Net.perfect);
+    ("drop", { Net.perfect with Net.drop_p = 0.15 });
+    ("dup", { Net.perfect with Net.dup_p = 0.2 });
+    ("reorder", { Net.perfect with Net.reorder_p = 0.2 });
+    ("delay", { Net.perfect with Net.delay_p = 0.4; max_delay_ticks = 5 });
+    ("chunk", { Net.perfect with Net.chunk_p = 0.5 });
+    ("lossy", Net.lossy);
+    ("corrupt", { Net.perfect with Net.corrupt_p = 0.3 });
+    ("truncate", { Net.perfect with Net.truncate_close_p = 0.2 });
+    ("mitm-flip", { Net.perfect with Net.mitm = Some mitm_flip });
+  ]
+
+let profile_named name = List.assoc_opt name profiles
+
+type report = {
+  sessions : int;
+  completed : int;
+  aborted : int;
+  retries : int; (* total retransmissions across attesters *)
+  ticks : int;
+  faults : (string * int) list; (* injected by the link layer *)
+  server : (string * int) list; (* verifier-side counters *)
+  aborts : (string * int) list; (* histogram of abort reasons *)
+  latency : Stats.summary option; (* per completed session, sim ns *)
+}
+
+let completion_rate r =
+  if r.sessions = 0 then 1.0 else float_of_int r.completed /. float_of_int r.sessions
+
+(** Run one storm. The whole schedule is a pure function of
+    [config.seed]: a failing run replays exactly from its seed. *)
+let run ?(config = default_config) () =
+  let soc = Soc.manufacture ~seed:"storm-board" () in
+  (match Soc.boot soc with Ok _ -> () | Error _ -> failwith "storm: boot failed");
+  let os = Soc.optee soc in
+  let service = Watz_attest.Service.install os in
+  let claim = Watz_crypto.Sha256.digest "storm-app" in
+  let policy =
+    P.Verifier.make_policy ~identity_seed:"storm-verifier"
+      ~endorsed_keys:[ Watz_attest.Service.public_key service ]
+      ~reference_claims:[ claim ] ~secret_blob:"storm secret blob" ()
+  in
+  Net.configure soc.Soc.net ~seed:config.seed ~profile:config.profile;
+  let port = 7100 in
+  let server = Verifier_app.start soc ~port ~policy in
+  let issue ~anchor =
+    Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence service ~anchor ~claim)
+  in
+  let crypto_rng = Watz_util.Prng.create (Int64.logxor config.seed 0x5e55104aL) in
+  let random n = Watz_util.Prng.bytes crypto_rng n in
+  let attesters = ref [] in
+  let launched = ref 0 in
+  let launch () =
+    let n = min config.stagger (config.sessions - !launched) in
+    for _ = 1 to n do
+      incr launched;
+      let a =
+        Attester_app.start ~retry:config.retry soc ~port ~random
+          ~expected_verifier:policy.P.Verifier.identity_pub ~issue
+      in
+      attesters := a :: !attesters
+    done
+  in
+  let all_terminal () =
+    !launched = config.sessions
+    && List.for_all (fun a -> Attester_app.outcome a <> Attester_app.Pending) !attesters
+  in
+  let ticks = ref 0 in
+  while (not (all_terminal ())) && !ticks < config.max_ticks do
+    incr ticks;
+    launch ();
+    Net.tick soc.Soc.net;
+    Verifier_app.step server;
+    List.iter Attester_app.step !attesters;
+    Watz_tz.Simclock.advance soc.Soc.clock config.quantum_ns
+  done;
+  (* Sessions still pending at the hard stop count as aborted. *)
+  let outcomes = List.map (fun a -> (a, Attester_app.outcome a)) !attesters in
+  let completed =
+    List.length (List.filter (function _, Attester_app.Done _ -> true | _ -> false) outcomes)
+  in
+  let aborts =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (_, o) ->
+        let key =
+          match o with
+          | Attester_app.Done _ -> None
+          | Attester_app.Aborted e -> Some (Format.asprintf "%a" P.pp_error e)
+          | Attester_app.Pending -> Some "still pending at max_ticks"
+        in
+        match key with
+        | None -> ()
+        | Some k ->
+          Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      outcomes;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let latencies =
+    List.filter_map
+      (fun (a, o) ->
+        match o with
+        | Attester_app.Done _ ->
+          Some
+            (Int64.to_float
+               (Int64.sub (Attester_app.finished_ns a) (Attester_app.started_ns a)))
+        | _ -> None)
+      outcomes
+  in
+  {
+    sessions = config.sessions;
+    completed;
+    aborted = config.sessions - completed;
+    retries = List.fold_left (fun acc (a, _) -> acc + Attester_app.retries a) 0 outcomes;
+    ticks = !ticks;
+    faults = Net.fault_counts soc.Soc.net;
+    server = Verifier_app.counters server;
+    aborts;
+    latency = (match latencies with [] -> None | l -> Some (Stats.summarize (Array.of_list l)));
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "sessions %d | completed %d (%.1f%%) | aborted %d | retries %d | ticks %d"
+    r.sessions r.completed
+    (100.0 *. completion_rate r)
+    r.aborted r.retries r.ticks;
+  (match r.latency with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf "@\n  latency: median %a | p95 %a | p99 %a | max %a" Stats.pp_ns
+      s.Stats.median Stats.pp_ns s.Stats.p95 Stats.pp_ns s.Stats.p99 Stats.pp_ns s.Stats.max);
+  let pairs label = function
+    | [] -> ()
+    | l ->
+      Format.fprintf ppf "@\n  %s:" label;
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) l
+  in
+  pairs "faults" r.faults;
+  pairs "server" r.server;
+  (match r.aborts with
+  | [] -> ()
+  | l ->
+    Format.fprintf ppf "@\n  aborts:";
+    List.iter (fun (k, v) -> Format.fprintf ppf "@\n    %3dx %s" v k) l)

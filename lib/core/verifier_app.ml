@@ -9,14 +9,27 @@
     pending connections and relays complete frames inward, charging a
     world round trip per message exactly as the paper observes
     ("the server of the verifier invokes functions inside the TEE once
-    received by the TCP server"). *)
+    received by the TCP server").
+
+    The server is multi-session: every accepted connection gets its own
+    per-connection protocol state in a session table. Sessions survive
+    retransmitted messages (answered idempotently from the protocol
+    caches), are aborted on the first typed protocol error, and are
+    evicted once stalled longer than [session_timeout_ns] on the
+    simulated clock. Counters record everything the storm bench
+    reports: sessions started / completed / aborted / evicted,
+    retransmits answered, and transport faults observed. *)
 
 module P = Watz_attest.Protocol
+module Counters = Watz_util.Stats.Counters
 
 type conn_state = {
+  id : int;
   conn : Watz_tz.Net.conn;
   mutable vsession : P.Verifier.session option;
   mutable failed : P.error option;
+  mutable completed : bool;
+  mutable last_activity_ns : int64;
 }
 
 type t = {
@@ -24,26 +37,61 @@ type t = {
   port : int;
   policy : P.Verifier.policy;
   rng : Watz_util.Prng.t;
-  mutable conns : conn_state list;
+  sessions : (int, conn_state) Hashtbl.t;
+  mutable next_id : int;
+  session_timeout_ns : int64;
+  counters : Counters.t;
   mutable served : int; (* completed attestations *)
   mutable rejected : int;
+  mutable last_err : P.error option;
 }
 
 (** Start listening. [soc] is the device hosting the verifier (the
-    paper co-locates attester and verifier on one board). *)
-let start soc ~port ~policy =
+    paper co-locates attester and verifier on one board). Stalled
+    sessions are evicted after [session_timeout_ns] of simulated-clock
+    inactivity (default 2 s). *)
+let start ?(session_timeout_ns = 2_000_000_000L) soc ~port ~policy =
   ignore (Watz_tz.Net.listen soc.Watz_tz.Soc.net ~port);
   {
     soc;
     port;
     policy;
     rng = Watz_util.Prng.create 0x5eed0fae1L;
-    conns = [];
+    sessions = Hashtbl.create 32;
+    next_id = 0;
+    session_timeout_ns;
+    counters = Counters.create ();
     served = 0;
     rejected = 0;
+    last_err = None;
   }
 
 let random t n = Watz_util.Prng.bytes t.rng n
+let counters t = Counters.to_list t.counters
+let live_sessions t = Hashtbl.length t.sessions
+
+let abort t state err =
+  state.failed <- Some err;
+  t.rejected <- t.rejected + 1;
+  t.last_err <- Some err;
+  Counters.incr t.counters "sessions_aborted";
+  Watz_tz.Net.close state.conn;
+  Hashtbl.remove t.sessions state.id
+
+let drop_session t state reason =
+  Counters.incr t.counters reason;
+  Watz_tz.Net.close state.conn;
+  Hashtbl.remove t.sessions state.id
+
+(* Reply to the attester; a dead link while answering aborts the
+   session instead of escaping the event loop. *)
+let reply t state frame =
+  match Watz_tz.Net.send_frame state.conn frame with
+  | () -> true
+  | exception Watz_tz.Net.Peer_closed ->
+    if state.completed then drop_session t state "sessions_closed"
+    else abort t state (P.Connection_lost "verifier: peer vanished mid-reply");
+    false
 
 let handle_frame t state frame =
   match state.vsession with
@@ -54,52 +102,83 @@ let handle_frame t state frame =
     with
     | Ok (vsession, m1) ->
       state.vsession <- Some vsession;
-      Watz_tz.Net.send_frame state.conn m1
-    | Error e ->
-      state.failed <- Some e;
-      t.rejected <- t.rejected + 1;
-      Watz_tz.Net.close state.conn)
-  | Some vsession -> (
-    match
-      Watz_tz.Soc.smc t.soc (fun () ->
-          P.Verifier.handle_msg2 vsession ~random:(random t) frame)
-    with
-    | Ok m3 ->
-      t.served <- t.served + 1;
-      Watz_tz.Net.send_frame state.conn m3
-    | Error e ->
-      state.failed <- Some e;
-      t.rejected <- t.rejected + 1;
-      Watz_tz.Net.close state.conn)
+      ignore (reply t state m1)
+    | Error e -> abort t state e)
+  | Some vsession ->
+    if P.Verifier.is_msg0_retransmit vsession frame then begin
+      (* The attester never saw msg1: answer from the session cache. *)
+      Counters.incr t.counters "retransmits_answered";
+      ignore (reply t state (P.Verifier.msg1_reply vsession))
+    end
+    else begin
+      let already = state.completed in
+      match
+        Watz_tz.Soc.smc t.soc (fun () ->
+            P.Verifier.handle_msg2 vsession ~random:(random t) frame)
+      with
+      | Ok m3 ->
+        if already then Counters.incr t.counters "retransmits_answered"
+        else begin
+          state.completed <- true;
+          t.served <- t.served + 1;
+          Counters.incr t.counters "sessions_completed"
+        end;
+        ignore (reply t state m3)
+      | Error e -> abort t state e
+    end
 
-(** One scheduling quantum of the listener: accept pending connections
-    and process every complete frame. *)
+(** One scheduling quantum of the listener: accept pending connections,
+    process every complete frame on every live session, and evict the
+    stalled ones. *)
 let step t =
   let rec accept_all () =
     match Watz_tz.Net.accept t.soc.Watz_tz.Soc.net ~port:t.port with
     | None -> ()
     | Some conn ->
-      t.conns <- { conn; vsession = None; failed = None } :: t.conns;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Counters.incr t.counters "sessions_started";
+      Hashtbl.replace t.sessions id
+        {
+          id;
+          conn;
+          vsession = None;
+          failed = None;
+          completed = false;
+          last_activity_ns = Watz_tz.Soc.now_ns t.soc;
+        };
       accept_all ()
   in
   accept_all ();
+  let now = Watz_tz.Soc.now_ns t.soc in
+  let live = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
   List.iter
     (fun state ->
-      if state.failed = None then begin
-        let rec drain () =
-          match Watz_tz.Net.recv_frame state.conn with
-          | None -> ()
-          | Some frame ->
-            handle_frame t state frame;
-            drain ()
-        in
-        drain ()
-      end)
-    t.conns
+      let rec drain () =
+        match Watz_tz.Net.recv_frame_ex state.conn with
+        | Watz_tz.Net.Frame frame ->
+          state.last_activity_ns <- Watz_tz.Soc.now_ns t.soc;
+          handle_frame t state frame;
+          if Hashtbl.mem t.sessions state.id then drain ()
+        | Watz_tz.Net.Awaiting ->
+          if Int64.sub now state.last_activity_ns > t.session_timeout_ns then
+            if state.completed then drop_session t state "sessions_closed"
+            else begin
+              Counters.incr t.counters "sessions_evicted";
+              abort t state (P.Timed_out "verifier: session stalled")
+            end
+        | Watz_tz.Net.Closed_by_peer ->
+          (* A clean close after completion; anything earlier is a loss. *)
+          if state.completed then drop_session t state "sessions_closed"
+          else abort t state (P.Connection_lost "verifier: peer closed mid-protocol")
+        | Watz_tz.Net.Frame_violation e ->
+          Counters.incr t.counters "frame_violations";
+          abort t state
+            (P.Malformed (Format.asprintf "frame: %a" Watz_tz.Net.pp_frame_error e))
+      in
+      drain ())
+    live
 
 (** Most recent failure across connections, for tests asserting
     rejection reasons. *)
-let last_error t =
-  List.fold_left
-    (fun acc state -> match state.failed with Some e -> Some e | None -> acc)
-    None t.conns
+let last_error t = t.last_err

@@ -114,16 +114,23 @@ let quote_read env args =
     end
 
 (* Pump the normal world until a frame arrives (bounded, to fail
-   rather than spin forever on a dead peer). *)
+   rather than spin forever on a dead peer). Transport failures come
+   back as errnos: a violated frame is a protocol error, a vanished
+   peer a connection error, a mere stall "try again". *)
 let recv_with_pump env conn =
   let rec go tries =
-    if tries = 0 then None
+    if tries = 0 then Error errno_again
     else
       match Watz_tz.Optee.socket_recv env.os conn with
-      | Some frame -> Some frame
+      | Some frame -> Ok frame
+      | exception Watz_tz.Net.Bad_frame _ -> Error errno_proto
       | None ->
-        env.pump ();
-        go (tries - 1)
+        if Watz_tz.Net.peer_closed conn && Watz_tz.Net.available conn = 0 then
+          Error errno_conn
+        else begin
+          env.pump ();
+          go (tries - 1)
+        end
   in
   go 64
 
@@ -140,11 +147,13 @@ let net_handshake env args =
     | conn -> (
       let attester = Watz_attest.Protocol.Attester.create ~random:env.random ~expected_verifier in
       let m0 = Watz_attest.Protocol.Attester.msg0 attester in
-      Watz_tz.Optee.socket_send env.os conn m0;
+      match Watz_tz.Optee.socket_send env.os conn m0 with
+      | exception Watz_tz.Net.Peer_closed -> errno errno_conn
+      | () -> (
       env.pump ();
       match recv_with_pump env conn with
-      | None -> errno errno_conn
-      | Some m1 -> (
+      | Error e -> errno e
+      | Ok m1 -> (
         match Watz_attest.Protocol.Attester.handle_msg1 attester m1 with
         | Error _ -> errno errno_proto
         | Ok anchor ->
@@ -152,7 +161,7 @@ let net_handshake env args =
           Hashtbl.replace env.sessions h { attester; conn; anchor; blob = None };
           Mem.store32 mem (i32_arg args 2) (Int32.of_int h);
           Mem.store_string mem (i32_arg args 3) anchor;
-          ok)))
+          ok))))
 
 (* wasi_ra_net_send_quote(ctx, quote_handle) *)
 let net_send_quote env args =
@@ -164,10 +173,12 @@ let net_send_quote env args =
   | Some session, Some evidence -> (
     match Watz_attest.Protocol.Attester.msg2 session.attester ~evidence with
     | Error _ -> errno errno_proto
-    | Ok m2 ->
-      Watz_tz.Optee.socket_send env.os session.conn m2;
-      env.pump ();
-      ok)
+    | Ok m2 -> (
+      match Watz_tz.Optee.socket_send env.os session.conn m2 with
+      | exception Watz_tz.Net.Peer_closed -> errno errno_conn
+      | () ->
+        env.pump ();
+        ok))
 
 (* wasi_ra_net_data_len(ctx, len_out): receive msg3 if needed, report
    the decrypted blob's size. *)
@@ -176,8 +187,8 @@ let receive_blob env session =
   | Some b -> Ok b
   | None -> (
     match recv_with_pump env session.conn with
-    | None -> Error errno_again
-    | Some m3 -> (
+    | Error e -> Error e
+    | Ok m3 -> (
       match Watz_attest.Protocol.Attester.handle_msg3 session.attester m3 with
       | Error _ -> Error errno_proto
       | Ok blob ->

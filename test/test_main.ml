@@ -1,1 +1,6 @@
-let () = Alcotest.run "watz" (Test_crypto.suite @ Test_wasm.suite @ Test_minic.suite @ Test_tz.suite @ Test_attest.suite @ Test_runtime.suite @ Test_workloads.suite @ Test_symbolic.suite @ Test_wasi.suite)
+let () =
+  Test_seed.announce ();
+  Alcotest.run "watz"
+    (Test_crypto.suite @ Test_wasm.suite @ Test_minic.suite @ Test_tz.suite @ Test_attest.suite
+   @ Test_runtime.suite @ Test_workloads.suite @ Test_symbolic.suite @ Test_wasi.suite
+   @ Test_fault.suite @ Test_attack.suite)
