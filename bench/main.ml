@@ -2,7 +2,7 @@
    figure of the paper's evaluation (§VI). Run with no argument for the
    full sweep, or with one of:
 
-     fig3 fig4 fig5 fig6 table2 table3 fig7 table4 fig8 aot-ablation fast-ablation micro
+     fig3 fig4 fig5 fig6 table2 table3 fig7 table4 fig8 aot-ablation fast-ablation attest-storm crypto micro
 
    Absolute numbers differ from the paper (x86 host + OCaml closures vs
    Cortex-A53 + LLVM AOT); EXPERIMENTS.md records paper-vs-measured and
@@ -22,6 +22,7 @@ module Stats = Watz_util.Stats
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let json_out = Array.exists (fun a -> a = "--json") Sys.argv
 
 let booted seed =
   let soc = Soc.manufacture ~seed () in
@@ -591,6 +592,155 @@ let attest_storm () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Crypto fast-path microbench: the tuned primitives against the frozen
+   pre-PR implementations (Watz_refcrypto), interleaved so host
+   frequency drift cancels out of the ratios. With --json, writes
+   BENCH_crypto.json (including a lossy attest-storm throughput row)
+   for CI and EXPERIMENTS.md. *)
+
+let crypto () =
+  section "Crypto fast path - new vs frozen pre-PR baseline";
+  let rounds = if smoke || quick then 4 else 10 in
+  (* Per-op seconds for both sides, alternating batches and keeping the
+     per-side minimum: noise only ever inflates a batch, and slow drift
+     hits adjacent batches equally. *)
+  let duel ~iters f_new f_old =
+    ignore (f_new ());
+    ignore (f_old ());
+    let bn = ref infinity and bo = ref infinity in
+    for _ = 1 to rounds do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (f_new ())
+      done;
+      let t1 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        ignore (f_old ())
+      done;
+      let t2 = Unix.gettimeofday () in
+      if t1 -. t0 < !bn then bn := t1 -. t0;
+      if t2 -. t1 < !bo then bo := t2 -. t1
+    done;
+    (!bn /. float_of_int iters, !bo /. float_of_int iters)
+  in
+  (* Size batches off the slower (old) side: ~40 ms each, so one metric
+     costs rounds * 2 * 40 ms at worst. *)
+  let calibrate f_old =
+    let budget = if smoke || quick then 0.012 else 0.04 in
+    let t0 = Unix.gettimeofday () in
+    ignore (f_old ());
+    let dt = Unix.gettimeofday () -. t0 in
+    max 1 (int_of_float (budget /. Float.max dt 1e-7))
+  in
+  let duel_auto f_new f_old = duel ~iters:(calibrate f_old) f_new f_old in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\n";
+  (* SHA-256 throughput across sizes. *)
+  Printf.printf "  %-22s %10s %10s %8s\n" "primitive" "new" "old" "speedup";
+  Buffer.add_string json "  \"sha256\": [";
+  List.iteri
+    (fun i (label, len) ->
+      let msg = String.init len (fun i -> Char.chr (i land 0xff)) in
+      let sn, so =
+        duel_auto
+          (fun () -> Watz_crypto.Sha256.digest msg)
+          (fun () -> Refcrypto.Sha256.digest msg)
+      in
+      let mbs s = float_of_int len /. s /. 1e6 in
+      Printf.printf "  %-22s %7.1f MB/s %5.1f MB/s %7.2fx\n"
+        (Printf.sprintf "sha256 %s" label) (mbs sn) (mbs so) (so /. sn);
+      Buffer.add_string json
+        (Printf.sprintf "%s\n    { \"size\": %d, \"new_mb_s\": %.1f, \"old_mb_s\": %.1f, \"speedup\": %.2f }"
+           (if i = 0 then "" else ",")
+           len (mbs sn) (mbs so) (so /. sn)))
+    [ ("64B", 64); ("1KB", 1024); ("8KB", 8192); ("64KB", 65536) ];
+  Buffer.add_string json "\n  ],\n";
+  (* Asymmetric ops. The old signer/verifier take raw Bn scalars; feed
+     both sides the same key material so the work is identical. *)
+  let priv, pub = Watz_crypto.Ecdsa.keypair_of_seed "bench-crypto" in
+  Watz_crypto.P256.prepare pub;
+  let priv_bn = Watz_crypto.Bn.of_bytes_be (Watz_crypto.Ecdsa.private_to_bytes priv) in
+  let pub_old =
+    match Refcrypto.P256.of_bytes (Watz_crypto.P256.encode pub) with
+    | Some p -> p
+    | None -> failwith "crypto bench: old decode of new pubkey failed"
+  in
+  let digest = Watz_crypto.Sha256.digest "crypto bench message" in
+  let signature = Watz_crypto.Ecdsa.sign_digest priv digest in
+  let scalar = Watz_crypto.Bn.of_bytes_be (Watz_crypto.Sha256.digest "ecdh scalar") in
+  let ops name f_new f_old =
+    let sn, so = duel_auto f_new f_old in
+    Printf.printf "  %-22s %8.0f /s %8.1f /s %7.2fx\n" name (1.0 /. sn) (1.0 /. so) (so /. sn);
+    Buffer.add_string json
+      (Printf.sprintf "  \"%s\": { \"new_ops_s\": %.1f, \"old_ops_s\": %.1f, \"speedup\": %.2f },\n"
+         name (1.0 /. sn) (1.0 /. so) (so /. sn));
+    so /. sn
+  in
+  ignore
+    (ops "ecdsa_sign"
+       (fun () -> Watz_crypto.Ecdsa.sign_digest priv digest)
+       (fun () -> Refcrypto.Ecdsa.sign_digest priv_bn digest));
+  let verify_speedup =
+    ops "ecdsa_verify"
+      (fun () -> Watz_crypto.Ecdsa.verify_digest pub ~digest ~signature)
+      (fun () -> Refcrypto.Ecdsa.verify_digest pub_old ~digest ~signature)
+  in
+  ignore
+    (ops "ecdh_point_mul"
+       (fun () -> Watz_crypto.P256.mul scalar Watz_crypto.P256.base)
+       (fun () -> Refcrypto.P256.mul scalar Refcrypto.P256.base));
+  (* AES-GCM (table-driven GHASH vs bitwise). *)
+  let keys = Watz_crypto.Kdf.session_of_shared (Watz_crypto.Sha256.digest "s") in
+  let key = keys.Watz_crypto.Kdf.k_e in
+  let iv = String.make 12 'i' in
+  let blob = String.make 65536 'p' in
+  let gn, go =
+    duel_auto
+      (fun () -> Watz_crypto.Gcm.encrypt ~key ~iv blob)
+      (fun () -> Refcrypto.Gcm.encrypt ~key ~iv blob)
+  in
+  let mbs s = float_of_int (String.length blob) /. s /. 1e6 in
+  Printf.printf "  %-22s %7.1f MB/s %5.1f MB/s %7.2fx\n" "aes-gcm encrypt 64KB" (mbs gn) (mbs go)
+    (go /. gn);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"gcm_encrypt_64k\": { \"new_mb_s\": %.1f, \"old_mb_s\": %.1f, \"speedup\": %.2f },\n"
+       (mbs gn) (mbs go) (go /. gn));
+  (* End-to-end effect: a lossy 64-session storm, wall-clock. *)
+  let module Storm = Watz.Storm in
+  let sessions = if smoke || quick then 32 else 64 in
+  let profile =
+    match Storm.profile_named "lossy" with Some p -> p | None -> failwith "no lossy profile"
+  in
+  let config = { Storm.default_config with Storm.sessions; seed = 0xa77e57L; profile } in
+  let t0 = Unix.gettimeofday () in
+  let r = Storm.run ~config () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let rate = Storm.completion_rate r in
+  let sps = float_of_int r.Storm.completed /. wall in
+  Printf.printf "  %-22s %8.1f sessions/s (%d/%d complete, wall %.0f ms)\n" "attest-storm lossy" sps
+    r.Storm.completed sessions (wall *. 1e3);
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"attest_storm_lossy\": { \"sessions\": %d, \"completed\": %d, \"completion_rate\": %.3f, \"sessions_per_sec\": %.1f, \"wall_ms\": %.1f }\n"
+       sessions r.Storm.completed rate sps (wall *. 1e3));
+  Buffer.add_string json "}\n";
+  if rate < 1.0 then begin
+    Printf.eprintf "  FAIL: lossy storm completion %.1f%% < 100%%\n" (100.0 *. rate);
+    exit 1
+  end;
+  if json_out then begin
+    let oc = open_out "BENCH_crypto.json" in
+    output_string oc (Buffer.contents json);
+    close_out oc;
+    Printf.printf "  wrote BENCH_crypto.json\n"
+  end;
+  if verify_speedup < 5.0 then begin
+    Printf.eprintf "  FAIL: ecdsa verify speedup %.2fx < 5x target\n" verify_speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure family. *)
 
 let micro () =
@@ -668,13 +818,13 @@ let all_targets =
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("table2", table2);
     ("table3", table3); ("fig7", fig7); ("table4", table4); ("fig8", fig8);
     ("aot-ablation", aot_ablation); ("fast-ablation", fast_ablation);
-    ("attest-storm", attest_storm); ("micro", micro);
+    ("attest-storm", attest_storm); ("crypto", crypto); ("micro", micro);
   ]
 
 let () =
   let requested =
     Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--quick" && a <> "--smoke")
+    |> List.filter (fun a -> a <> "--quick" && a <> "--smoke" && a <> "--json")
   in
   let to_run =
     match requested with

@@ -61,3 +61,11 @@ let decode raw =
 let verify_signature (s : signed) =
   Watz_crypto.Ecdsa.verify s.body.attestation_pubkey ~msg:(body_bytes s.body)
     ~signature:s.signature
+
+(** [verify_signature_with key s] verifies against [key] instead of the
+    key decoded out of the evidence. The caller must have already
+    established [P256.equal key s.body.attestation_pubkey]; passing its
+    own long-lived endorsed key object lets the verifier reuse that
+    key's memoized window table across sessions. *)
+let verify_signature_with key (s : signed) =
+  Watz_crypto.Ecdsa.verify key ~msg:(body_bytes s.body) ~signature:s.signature

@@ -134,6 +134,9 @@ module Attester = struct
       Table III). *)
   let create ~random ~expected_verifier =
     let meter = fresh_meter () in
+    (* The verifier identity outlives sessions; make sure its window
+       table is built once, not inside each msg1 appraisal. *)
+    C.P256.prepare expected_verifier;
     let keys = timed meter Keygen (fun () -> C.Ecdh.generate ~random) in
     {
       keys;
@@ -191,9 +194,12 @@ module Attester = struct
             Error Unexpected_verifier_identity
           else begin
             let ga_raw = timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub) in
+            (* [v_pub] equals [t.expected_verifier]; verify with the
+               long-lived point so its memoized table is reused. *)
             let session_sig_ok =
               timed t.meter Asym (fun () ->
-                  C.Ecdsa.verify v_pub ~msg:(gv_raw ^ ga_raw) ~signature:sig_session)
+                  C.Ecdsa.verify t.expected_verifier ~msg:(gv_raw ^ ga_raw)
+                    ~signature:sig_session)
             in
             if not session_sig_ok then Error Bad_session_signature
             else begin
@@ -277,6 +283,10 @@ module Verifier = struct
   let make_policy ~identity_seed ~endorsed_keys ~reference_claims ?(accept_version = fun _ -> true)
       ~secret_blob () =
     let priv, pub = C.Ecdsa.keypair_of_seed ("verifier-identity:" ^ identity_seed) in
+    (* Policy keys serve every session: build the endorsed keys' window
+       tables and the identity encoding once, at policy creation. *)
+    List.iter C.P256.prepare endorsed_keys;
+    ignore (C.P256.encode pub);
     {
       identity_priv = priv;
       identity_pub = pub;
@@ -369,14 +379,21 @@ module Verifier = struct
           let expected_anchor = anchor_of ~ga:ga_raw ~gv:gv_raw in
           if not (String.equal evidence.Evidence.body.Evidence.anchor expected_anchor) then
             Error Anchor_mismatch
-          else if
+          else begin
+            match
+              List.find_opt
+                (C.P256.equal evidence.Evidence.body.Evidence.attestation_pubkey)
+                session.policy.endorsed_keys
+            with
+          | None -> Error Unknown_device
+          | Some endorsed ->
+          (* Verify with the policy's own (prepared) key object rather
+             than the equal point decoded from the wire, so the window
+             table is shared across every session of this device. *)
+          if
             not
-              (List.exists
-                 (C.P256.equal evidence.Evidence.body.Evidence.attestation_pubkey)
-                 session.policy.endorsed_keys)
-          then Error Unknown_device
-          else if
-            not (timed session.meter Asym (fun () -> Evidence.verify_signature evidence))
+              (timed session.meter Asym (fun () ->
+                   Evidence.verify_signature_with endorsed evidence))
           then Error Bad_evidence_signature
           else if not (session.policy.accept_version evidence.Evidence.body.Evidence.version)
           then Error (Outdated_version evidence.Evidence.body.Evidence.version)
@@ -397,6 +414,7 @@ module Verifier = struct
             let m3 = iv ^ ct ^ gcm_tag in
             session.msg2_cache <- Some (raw, m3);
             Ok m3
+          end
           end
       end
     end

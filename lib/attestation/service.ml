@@ -22,6 +22,9 @@ let create os =
   let fortuna = Watz_crypto.Fortuna.of_seed subkey in
   let seed = Watz_crypto.Fortuna.generate fortuna 32 in
   let priv, pub = Watz_crypto.Ecdsa.keypair_of_seed seed in
+  (* The key pair lives for the whole boot: warm its SEC 1 encoding
+     now so no "pubkey" request or evidence body pays the inversion. *)
+  ignore (Watz_crypto.P256.encode pub);
   { priv; pub; version = Watz_tz.Optee.Kernel.version os; issued = 0 }
 
 let public_key t = t.pub

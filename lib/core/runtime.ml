@@ -78,7 +78,26 @@ type app = {
    across SoCs — is safe; each load still links its own instance. *)
 let module_cache : (string * exec_tier, Engine.prepared) Hashtbl.t = Hashtbl.create 16
 
-let cache_clear () = Hashtbl.reset module_cache
+(* Measurement memo: repeated loads of the same bytecode (attestation
+   storms re-run one module per session) skip the SHA-256 pass. The
+   lookup costs a sampled Hashtbl.hash plus one full String.equal —
+   memcmp speed, well under a digest. Bounded so a parade of distinct
+   modules cannot pin their bytecode strings forever. *)
+let measure_cache : (string, string) Hashtbl.t = Hashtbl.create 16
+
+let measure wasm_bytes =
+  match Hashtbl.find_opt measure_cache wasm_bytes with
+  | Some claim -> claim
+  | None ->
+    let claim = Watz_crypto.Sha256.digest wasm_bytes in
+    if Hashtbl.length measure_cache >= 64 then Hashtbl.reset measure_cache;
+    Hashtbl.add measure_cache wasm_bytes claim;
+    claim
+
+let cache_clear () =
+  Hashtbl.reset module_cache;
+  Hashtbl.reset measure_cache
+
 let cache_size () = Hashtbl.length module_cache
 
 let watz_ta_uuid = "a7c9e1f0-watz-runtime"
@@ -125,7 +144,7 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
         code)
   in
   Watz_tz.Optee.shm_free os shm;
-  let hash_ns, claim = time (fun () -> Watz_crypto.Sha256.digest bytecode) in
+  let hash_ns, claim = time (fun () -> measure bytecode) in
   let output = Buffer.create 256 in
   let runtime_init_ns, (wasi_env, ra_env) =
     time (fun () ->
@@ -216,4 +235,3 @@ let unload app = Watz_tz.Optee.close_session app.session
 
 (** Measure the bytecode exactly as the runtime would, without
     launching (used by verifiers to compute reference values). *)
-let measure wasm_bytes = Watz_crypto.Sha256.digest wasm_bytes

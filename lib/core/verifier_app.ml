@@ -52,6 +52,12 @@ type t = {
     inactivity (default 2 s). *)
 let start ?(session_timeout_ns = 2_000_000_000L) soc ~port ~policy =
   ignore (Watz_tz.Net.listen soc.Watz_tz.Soc.net ~port);
+  (* Pay the one-time crypto table costs (fixed-base comb, endorsed-key
+     windows, identity encoding) at startup, not inside the first
+     session's latency. *)
+  Watz_crypto.P256.prewarm ();
+  List.iter Watz_crypto.P256.prepare policy.P.Verifier.endorsed_keys;
+  ignore (Watz_crypto.P256.encode policy.P.Verifier.identity_pub);
   {
     soc;
     port;

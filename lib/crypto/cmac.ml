@@ -17,12 +17,19 @@ let subkey l =
     String.mapi (fun i c -> if i = 15 then Char.chr (Char.code c lxor 0x87) else c) shifted
   else shifted
 
-let mac ~key msg =
-  if String.length key <> 16 then invalid_arg "Cmac.mac: key must be 16 bytes";
-  let aes = Aes.expand_key key in
+(* Prepared key: the expanded AES schedule and both subkeys, derived
+   once instead of per call (the Kdf derives several labels under one
+   KDK; the protocol MACs every message under K_m). *)
+type key = { aes : Aes.key; k1 : string; k2 : string }
+
+let prepare k =
+  if String.length k <> 16 then invalid_arg "Cmac.prepare: key must be 16 bytes";
+  let aes = Aes.expand_key k in
   let l = Aes.encrypt_block aes (String.make 16 '\000') in
   let k1 = subkey l in
-  let k2 = subkey k1 in
+  { aes; k1; k2 = subkey k1 }
+
+let mac_with { aes; k1; k2 } msg =
   let len = String.length msg in
   let n_blocks = if len = 0 then 1 else (len + 15) / 16 in
   let complete = len > 0 && len mod 16 = 0 in
@@ -41,6 +48,10 @@ let mac ~key msg =
     x := Aes.encrypt_block aes (xor16 !x (String.sub msg (16 * i) 16))
   done;
   Aes.encrypt_block aes (xor16 !x last)
+
+let mac ~key msg =
+  if String.length key <> 16 then invalid_arg "Cmac.mac: key must be 16 bytes";
+  mac_with (prepare key) msg
 
 let verify ~key ~tag msg =
   let expected = mac ~key msg in

@@ -2,9 +2,19 @@
 
     WaTZ uses AES-CMAC-128 both to authenticate protocol messages and as
     the pseudo-random function of the SGX-style key-derivation schedule
-    ({!Kdf}). *)
+    ({!Kdf}). A prepared {!key} amortises the AES key expansion and
+    subkey derivation across calls. *)
+
+type key
+
+val prepare : string -> key
+(** Expand a 16-byte key and derive K1/K2 once. *)
+
+val mac_with : key -> string -> string
+(** 16-byte tag under a prepared key. *)
 
 val mac : key:string -> string -> string
-(** [mac ~key msg] is the 16-byte CMAC tag. [key] must be 16 bytes. *)
+(** One-shot [mac ~key msg]: the 16-byte CMAC tag. [key] must be 16
+    bytes. *)
 
 val verify : key:string -> tag:string -> string -> bool

@@ -2,6 +2,7 @@ type private_key = Bn.t
 type public_key = P256.point
 
 let n = P256.n
+let sr = P256.scalar_ring
 
 let private_of_bytes s =
   if String.length s <> 32 then invalid_arg "Ecdsa.private_of_bytes: need 32 bytes";
@@ -23,7 +24,8 @@ let keypair_of_seed seed =
   (d, public_of_private d)
 
 (* RFC 6979 deterministic nonce generation, specialised to SHA-256 and
-   a 256-bit group order (so bits2int is the identity on digests). *)
+   a 256-bit group order (so bits2int is the identity on digests). Each
+   K is prepared once and reused for the V updates under it. *)
 let rfc6979_k d digest =
   let x = Bn.to_bytes_be ~len:32 d in
   let h1 =
@@ -31,18 +33,18 @@ let rfc6979_k d digest =
     Bn.to_bytes_be ~len:32 (Bn.mod_ (Bn.of_bytes_be digest) n)
   in
   let v = ref (String.make 32 '\x01') in
-  let k = ref (String.make 32 '\x00') in
-  k := Hmac.sha256 ~key:!k (!v ^ "\x00" ^ x ^ h1);
-  v := Hmac.sha256 ~key:!k !v;
-  k := Hmac.sha256 ~key:!k (!v ^ "\x01" ^ x ^ h1);
-  v := Hmac.sha256 ~key:!k !v;
+  let k = ref (Hmac.prepare (String.make 32 '\x00')) in
+  k := Hmac.prepare (Hmac.mac !k (!v ^ "\x00" ^ x ^ h1));
+  v := Hmac.mac !k !v;
+  k := Hmac.prepare (Hmac.mac !k (!v ^ "\x01" ^ x ^ h1));
+  v := Hmac.mac !k !v;
   let rec attempt () =
-    v := Hmac.sha256 ~key:!k !v;
+    v := Hmac.mac !k !v;
     let candidate = Bn.of_bytes_be !v in
     if (not (Bn.is_zero candidate)) && Bn.compare candidate n < 0 then candidate
     else begin
-      k := Hmac.sha256 ~key:!k (!v ^ "\x00");
-      v := Hmac.sha256 ~key:!k !v;
+      k := Hmac.prepare (Hmac.mac !k (!v ^ "\x00"));
+      v := Hmac.mac !k !v;
       attempt ()
     end
   in
@@ -50,21 +52,21 @@ let rfc6979_k d digest =
 
 let sign_digest d digest =
   if String.length digest <> 32 then invalid_arg "Ecdsa.sign_digest: need 32 bytes";
-  let z = Bn.mod_ (Bn.of_bytes_be digest) n in
+  let z = Fe256.of_bn sr (Bn.of_bytes_be digest) in
+  let fd = Fe256.of_bn sr d in
   let rec attempt k =
     match P256.to_affine (P256.base_mul k) with
     | None -> attempt (Bn.add k Bn.one)
     | Some (x1, _) ->
-      let r = Bn.mod_ x1 n in
-      if Bn.is_zero r then attempt (Bn.add k Bn.one)
-      else begin
-        let kinv = Modring.inv_prime P256.order k in
-        let s =
-          Modring.mul P256.order kinv (Modring.add P256.order z (Modring.mul P256.order r d))
-        in
-        if Bn.is_zero s then attempt (Bn.add k Bn.one)
-        else Bn.to_bytes_be ~len:32 r ^ Bn.to_bytes_be ~len:32 s
-      end
+        let r = Bn.mod_ x1 n in
+        if Bn.is_zero r then attempt (Bn.add k Bn.one)
+        else begin
+          let fr = Fe256.of_bn sr r in
+          let kinv = Fe256.inv sr (Fe256.of_bn sr k) in
+          let fs = Fe256.mul sr kinv (Fe256.add sr z (Fe256.mul sr fr fd)) in
+          if Fe256.is_zero fs then attempt (Bn.add k Bn.one)
+          else Bn.to_bytes_be ~len:32 r ^ Bn.to_bytes_be ~len:32 (Fe256.to_bn sr fs)
+        end
   in
   attempt (rfc6979_k d digest)
 
@@ -79,12 +81,11 @@ let verify_digest q ~digest ~signature =
   let valid_range v = (not (Bn.is_zero v)) && Bn.compare v n < 0 in
   valid_range r && valid_range s
   &&
-  let z = Bn.mod_ (Bn.of_bytes_be digest) n in
-  let sinv = Modring.inv_prime P256.order s in
-  let u1 = Modring.mul P256.order z sinv in
-  let u2 = Modring.mul P256.order r sinv in
-  let pt = P256.add (P256.base_mul u1) (P256.mul u2 q) in
-  match P256.to_affine pt with
+  let z = Fe256.of_bn sr (Bn.of_bytes_be digest) in
+  let sinv = Fe256.inv sr (Fe256.of_bn sr s) in
+  let u1 = Fe256.to_bn sr (Fe256.mul sr z sinv) in
+  let u2 = Fe256.to_bn sr (Fe256.mul sr (Fe256.of_bn sr r) sinv) in
+  match P256.to_affine (P256.double_mul u1 u2 q) with
   | None -> false
   | Some (x1, _) -> Bn.equal (Bn.mod_ x1 n) r
 

@@ -1,0 +1,218 @@
+(* Montgomery arithmetic for 256-bit prime rings.
+
+   Elements are 9 little-endian limbs of 29 bits each (beta = 2^29,
+   R = 2^261), stored in native ints. The CIOS product keeps every
+   partial sum below beta^2 - 1 < 2^58, comfortably inside OCaml's
+   63-bit int, so the whole multiply runs without boxing. One module
+   instance backs both P-256 rings: the field mod p and the scalar
+   ring mod n. Values are kept fully reduced, so limb-array equality
+   is value equality. *)
+
+let limbs = 9
+let limb_bits = 29
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = int array
+
+type ring = {
+  m : int array; (* modulus limbs *)
+  m_bn : Bn.t;
+  n0 : int; (* -m^-1 mod beta *)
+  r2 : t; (* R^2 mod m, ordinary representation *)
+  one_m : t; (* R mod m: the Montgomery image of 1 *)
+  fermat_e : Bn.t; (* m - 2 *)
+  fermat_bits : int;
+}
+
+let limbs_of_bn v =
+  let s = Bn.to_bytes_be ~len:32 v in
+  let out = Array.make limbs 0 in
+  let acc = ref 0 and bits = ref 0 and li = ref 0 in
+  for i = 31 downto 0 do
+    acc := !acc lor (Char.code s.[i] lsl !bits);
+    bits := !bits + 8;
+    if !bits >= limb_bits then begin
+      out.(!li) <- !acc land limb_mask;
+      incr li;
+      acc := !acc lsr limb_bits;
+      bits := !bits - limb_bits
+    end
+  done;
+  if !bits > 0 then out.(!li) <- !acc;
+  out
+
+let bn_of_limbs a =
+  let b = Bytes.make 33 '\000' in
+  let acc = ref 0 and bits = ref 0 and bi = ref 32 in
+  for i = 0 to limbs - 1 do
+    acc := !acc lor (a.(i) lsl !bits);
+    bits := !bits + limb_bits;
+    while !bits >= 8 do
+      Bytes.set b !bi (Char.unsafe_chr (!acc land 0xff));
+      decr bi;
+      acc := !acc lsr 8;
+      bits := !bits - 8
+    done
+  done;
+  if !bits > 0 then Bytes.set b !bi (Char.unsafe_chr (!acc land 0xff));
+  Bn.of_bytes_be (Bytes.unsafe_to_string b)
+
+let ge a b =
+  let rec go i = if i < 0 then true else if a.(i) <> b.(i) then a.(i) > b.(i) else go (i - 1) in
+  go (limbs - 1)
+
+(* a <- a - b assuming the combined value (including any carry the
+   caller tracks above limb 8) is >= b; the final borrow, if any,
+   cancels that carry. *)
+let sub_in_place a b =
+  let borrow = ref 0 in
+  for i = 0 to limbs - 1 do
+    let d = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
+    if d < 0 then begin
+      Array.unsafe_set a i (d + (1 lsl limb_bits));
+      borrow := 1
+    end
+    else begin
+      Array.unsafe_set a i d;
+      borrow := 0
+    end
+  done
+
+let create m_bn =
+  if Bn.is_zero m_bn || not (Bn.testbit m_bn 0) then
+    invalid_arg "Fe256.create: modulus must be odd";
+  if Bn.bit_length m_bn > 256 || Bn.compare m_bn (Bn.of_int 3) < 0 then
+    invalid_arg "Fe256.create: modulus out of range";
+  let m = limbs_of_bn m_bn in
+  let m0 = m.(0) in
+  (* Newton's iteration doubles the valid bit-width each round:
+     odd m0 is its own inverse mod 8, so 5 rounds cover 29 bits. *)
+  let inv = ref m0 in
+  for _ = 1 to 5 do
+    let p = (m0 * !inv) land limb_mask in
+    inv := (!inv * (2 - p)) land limb_mask
+  done;
+  let n0 = ((1 lsl limb_bits) - !inv) land limb_mask in
+  let mont_bits = limbs * limb_bits in
+  let r2 = limbs_of_bn (Bn.mod_ (Bn.shift_left Bn.one (2 * mont_bits)) m_bn) in
+  let one_m = limbs_of_bn (Bn.mod_ (Bn.shift_left Bn.one mont_bits) m_bn) in
+  let fermat_e = Bn.sub m_bn (Bn.of_int 2) in
+  { m; m_bn; n0; r2; one_m; fermat_e; fermat_bits = Bn.bit_length fermat_e }
+
+let modulus r = r.m_bn
+
+(* CIOS Montgomery product: a * b * R^-1 mod m. *)
+let montmul r a b =
+  let m = r.m and n0 = r.n0 in
+  let t = Array.make (limbs + 2) 0 in
+  for i = 0 to limbs - 1 do
+    let bi = Array.unsafe_get b i in
+    let c = ref 0 in
+    for j = 0 to limbs - 1 do
+      let s = Array.unsafe_get t j + (Array.unsafe_get a j * bi) + !c in
+      Array.unsafe_set t j (s land limb_mask);
+      c := s lsr limb_bits
+    done;
+    let s = t.(limbs) + !c in
+    t.(limbs) <- s land limb_mask;
+    t.(limbs + 1) <- s lsr limb_bits;
+    let mq = (Array.unsafe_get t 0 * n0) land limb_mask in
+    let s0 = Array.unsafe_get t 0 + (mq * Array.unsafe_get m 0) in
+    let c = ref (s0 lsr limb_bits) in
+    for j = 1 to limbs - 1 do
+      let s = Array.unsafe_get t j + (mq * Array.unsafe_get m j) + !c in
+      Array.unsafe_set t (j - 1) (s land limb_mask);
+      c := s lsr limb_bits
+    done;
+    let s = t.(limbs) + !c in
+    t.(limbs - 1) <- s land limb_mask;
+    t.(limbs) <- t.(limbs + 1) + (s lsr limb_bits)
+  done;
+  let res = Array.sub t 0 limbs in
+  if t.(limbs) <> 0 || ge res m then sub_in_place res m;
+  res
+
+let mul = montmul
+let sqr r a = montmul r a a
+
+let add r a b =
+  let out = Array.make limbs 0 in
+  let c = ref 0 in
+  for i = 0 to limbs - 1 do
+    let s = Array.unsafe_get a i + Array.unsafe_get b i + !c in
+    Array.unsafe_set out i (s land limb_mask);
+    c := s lsr limb_bits
+  done;
+  if ge out r.m then sub_in_place out r.m;
+  out
+
+let sub r a b =
+  let out = Array.make limbs 0 in
+  let borrow = ref 0 in
+  for i = 0 to limbs - 1 do
+    let d = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
+    if d < 0 then begin
+      Array.unsafe_set out i (d + (1 lsl limb_bits));
+      borrow := 1
+    end
+    else begin
+      Array.unsafe_set out i d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then begin
+    let c = ref 0 in
+    for i = 0 to limbs - 1 do
+      let s = Array.unsafe_get out i + Array.unsafe_get r.m i + !c in
+      Array.unsafe_set out i (s land limb_mask);
+      c := s lsr limb_bits
+    done
+  end;
+  out
+
+let is_zero a =
+  let rec go i = i >= limbs || (a.(i) = 0 && go (i + 1)) in
+  go 0
+
+let equal a b =
+  let rec go i = i >= limbs || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let zero _ = Array.make limbs 0
+
+let one r = Array.copy r.one_m
+
+let neg r a = if is_zero a then Array.make limbs 0 else sub r (zero r) a
+
+let copy = Array.copy
+
+let of_bn r v =
+  let v = if Bn.compare v r.m_bn >= 0 then Bn.mod_ v r.m_bn else v in
+  montmul r (limbs_of_bn v) r.r2
+
+let of_int r i = of_bn r (Bn.of_int i)
+
+let to_bn r a =
+  let o = Array.make limbs 0 in
+  o.(0) <- 1;
+  bn_of_limbs (montmul r a o)
+
+(* Fermat inversion a^(m-2): valid for the prime moduli we use (the
+   P-256 field prime and group order). Square-and-multiply over the
+   exponent bits, ~380 Montgomery products. *)
+let inv r a =
+  let res = ref (Array.copy r.one_m) in
+  for i = r.fermat_bits - 1 downto 0 do
+    res := montmul r !res !res;
+    if Bn.testbit r.fermat_e i then res := montmul r !res a
+  done;
+  !res
+
+let pow r a e =
+  let bits = Bn.bit_length e in
+  let res = ref (Array.copy r.one_m) in
+  for i = bits - 1 downto 0 do
+    res := montmul r !res !res;
+    if Bn.testbit e i then res := montmul r !res a
+  done;
+  !res

@@ -1,115 +1,162 @@
-(* 128-bit blocks are held as pairs of int64 (big-endian halves). *)
+(* AES-GCM with table-driven GHASH (Shoup's 4-bit method).
 
-type block = int64 * int64
+   128-bit values are 4 big-endian 32-bit words in native ints, so the
+   whole GHASH inner loop is unboxed. Per key, a 16-entry table of
+   nibble multiples of the hash subkey H turns each block product into
+   32 shift-and-xor steps instead of 128 conditional bit steps; the
+   rem4 table folds the four bits shifted out of the reflected
+   polynomial back in (coefficients of 0xE1 = x^128 + x^7 + x^2 + x + 1). *)
 
-let block_of_string s off : block =
-  let get i =
-    if off + i < String.length s then Int64.of_int (Char.code s.[off + i]) else 0L
-  in
-  let half base =
-    let v = ref 0L in
-    for i = 0 to 7 do
-      v := Int64.logor (Int64.shift_left !v 8) (get (base + i))
-    done;
-    !v
-  in
-  (half 0, half 8)
+let mask32 = 0xffffffff
 
-let string_of_block ((hi, lo) : block) =
-  String.init 16 (fun i ->
-      let word = if i < 8 then hi else lo in
-      Char.chr (Int64.to_int (Int64.shift_right_logical word (8 * (7 - (i mod 8)))) land 0xff))
+let rem4 =
+  [| 0x0000; 0x1c20; 0x3840; 0x2460; 0x7080; 0x6ca0; 0x48c0; 0x54e0;
+     0xe100; 0xfd20; 0xd940; 0xc560; 0x9180; 0x8da0; 0xa9c0; 0xb5e0 |]
 
-let xor_block ((a, b) : block) ((c, d) : block) : block = (Int64.logxor a c, Int64.logxor b d)
+(* Flat 16x4 table: entry j at t.(4j .. 4j+3) is (j as a 4-bit
+   polynomial) * H, most significant word first. *)
+type hkey = int array
 
-(* GF(2^128) multiplication, right-shift method from SP 800-38D 6.3. *)
-let gf_mul (x : block) (y : block) : block =
-  let z = ref (0L, 0L) in
-  let v = ref y in
-  let xhi, xlo = x in
-  for i = 0 to 127 do
-    let bit =
-      if i < 64 then Int64.logand (Int64.shift_right_logical xhi (63 - i)) 1L
-      else Int64.logand (Int64.shift_right_logical xlo (127 - i)) 1L
-    in
-    if Int64.equal bit 1L then z := xor_block !z !v;
-    let vhi, vlo = !v in
-    let lsb = Int64.logand vlo 1L in
-    let vlo' =
-      Int64.logor (Int64.shift_right_logical vlo 1) (Int64.shift_left vhi 63)
-    in
-    let vhi' = Int64.shift_right_logical vhi 1 in
-    v := if Int64.equal lsb 1L then (Int64.logxor vhi' 0xe100000000000000L, vlo') else (vhi', vlo')
+let word_of s off =
+  let get i = if off + i < String.length s then Char.code s.[off + i] else 0 in
+  (get 0 lsl 24) lor (get 1 lsl 16) lor (get 2 lsl 8) lor get 3
+
+(* Multiply by x in the reflected representation: shift right one bit,
+   folding the dropped bit back via the 0xE1 reduction byte. *)
+let mul_x w =
+  let lsb = w.(3) land 1 in
+  w.(3) <- (w.(3) lsr 1) lor ((w.(2) land 1) lsl 31);
+  w.(2) <- (w.(2) lsr 1) lor ((w.(1) land 1) lsl 31);
+  w.(1) <- (w.(1) lsr 1) lor ((w.(0) land 1) lsl 31);
+  w.(0) <- (w.(0) lsr 1) lxor (lsb * 0xe1000000)
+
+let build_htab h =
+  let t = Array.make 64 0 in
+  let w = [| word_of h 0; word_of h 4; word_of h 8; word_of h 12 |] in
+  let set j = Array.blit w 0 t (4 * j) 4 in
+  (* bit 3 of a nibble is the x^0 coefficient: entry 8 is H itself,
+     entries 4, 2, 1 are H*x, H*x^2, H*x^3. *)
+  set 8;
+  mul_x w;
+  set 4;
+  mul_x w;
+  set 2;
+  mul_x w;
+  set 1;
+  List.iter
+    (fun i ->
+      for j = 1 to i - 1 do
+        for k = 0 to 3 do
+          t.((4 * (i + j)) + k) <- t.((4 * i) + k) lxor t.((4 * j) + k)
+        done
+      done)
+    [ 2; 4; 8 ];
+  t
+
+(* z <- z * H. The nibbles of z are consumed most-reduced-first while
+   the product accumulates in scratch; z is only overwritten at the
+   end, so reading and accumulating never alias. *)
+let gmul_scratch = Array.make 4 0
+
+let gmul (t : hkey) (z : int array) =
+  let zs = gmul_scratch in
+  let d0 = 4 * (z.(3) land 0xf) in
+  zs.(0) <- t.(d0);
+  zs.(1) <- t.(d0 + 1);
+  zs.(2) <- t.(d0 + 2);
+  zs.(3) <- t.(d0 + 3);
+  for k = 1 to 31 do
+    let rem = zs.(3) land 0xf in
+    zs.(3) <- (zs.(3) lsr 4) lor ((zs.(2) land 0xf) lsl 28);
+    zs.(2) <- (zs.(2) lsr 4) lor ((zs.(1) land 0xf) lsl 28);
+    zs.(1) <- (zs.(1) lsr 4) lor ((zs.(0) land 0xf) lsl 28);
+    zs.(0) <- (zs.(0) lsr 4) lxor (Array.unsafe_get rem4 rem lsl 16);
+    let d = 4 * ((z.(3 - (k lsr 3)) lsr (4 * (k land 7))) land 0xf) in
+    zs.(0) <- zs.(0) lxor Array.unsafe_get t d;
+    zs.(1) <- zs.(1) lxor Array.unsafe_get t (d + 1);
+    zs.(2) <- zs.(2) lxor Array.unsafe_get t (d + 2);
+    zs.(3) <- zs.(3) lxor Array.unsafe_get t (d + 3)
   done;
-  !z
+  Array.blit zs 0 z 0 4
 
-let ghash h data_parts =
-  let y = ref (0L, 0L) in
-  let absorb s =
-    let len = String.length s in
-    let blocks = (len + 15) / 16 in
-    for i = 0 to blocks - 1 do
-      y := gf_mul (xor_block !y (block_of_string s (16 * i))) h
-    done
-  in
-  List.iter absorb data_parts;
-  !y
+(* Absorb a part as zero-padded 16-byte blocks, like the reference
+   GHASH does per data part. *)
+let ghash_absorb t z s =
+  let blocks = (String.length s + 15) / 16 in
+  for i = 0 to blocks - 1 do
+    let base = 16 * i in
+    z.(0) <- z.(0) lxor word_of s base;
+    z.(1) <- z.(1) lxor word_of s (base + 4);
+    z.(2) <- z.(2) lxor word_of s (base + 8);
+    z.(3) <- z.(3) lxor word_of s (base + 12);
+    gmul t z
+  done
 
-let inc32 ((hi, lo) : block) : block =
-  let counter = Int64.logand lo 0xffffffffL in
-  let counter' = Int64.logand (Int64.add counter 1L) 0xffffffffL in
-  (hi, Int64.logor (Int64.logand lo 0xffffffff00000000L) counter')
+let ghash t parts =
+  let z = Array.make 4 0 in
+  List.iter (ghash_absorb t z) parts;
+  z
 
-let length_block aad_len ct_len : block =
-  (Int64.of_int (8 * aad_len), Int64.of_int (8 * ct_len))
+let string_of_words w =
+  String.init 16 (fun i -> Char.chr ((w.(i lsr 2) lsr (8 * (3 - (i land 3)))) land 0xff))
+
+let ghash_bytes ~h parts = string_of_words (ghash (build_htab h) parts)
+
+let length_words aad_len ct_len =
+  [| (8 * aad_len) lsr 32; (8 * aad_len) land mask32; (8 * ct_len) lsr 32;
+     (8 * ct_len) land mask32 |]
 
 let derive ~key ~iv =
   let aes = Aes.expand_key key in
-  let h = block_of_string (Aes.encrypt_block aes (String.make 16 '\000')) 0 in
+  let t = build_htab (Aes.encrypt_block aes (String.make 16 '\000')) in
   let j0 =
-    if String.length iv = 12 then block_of_string (iv ^ "\000\000\000\001") 0
+    if String.length iv = 12 then
+      [| word_of iv 0; word_of iv 4; word_of iv 8; 1 |]
     else begin
       if String.length iv = 0 then invalid_arg "Gcm: empty IV";
       let pad = (16 - (String.length iv mod 16)) mod 16 in
-      let lenb = string_of_block (0L, Int64.of_int (8 * String.length iv)) in
-      ghash h [ iv ^ String.make pad '\000' ^ lenb ]
+      let lenb = string_of_words (length_words 0 (String.length iv)) in
+      ghash t [ iv ^ String.make pad '\000' ^ lenb ]
     end
   in
-  (aes, h, j0)
+  (aes, t, j0)
 
 let ctr_transform aes j0 input =
   let len = String.length input in
   let out = Bytes.create len in
-  let counter = ref j0 in
+  let counter = Array.copy j0 in
   let blocks = (len + 15) / 16 in
   for i = 0 to blocks - 1 do
-    counter := inc32 !counter;
-    let keystream = Aes.encrypt_block aes (string_of_block !counter) in
+    counter.(3) <- (counter.(3) + 1) land mask32;
+    let keystream = Aes.encrypt_block aes (string_of_words counter) in
     let base = 16 * i in
     let n = min 16 (len - base) in
     for j = 0 to n - 1 do
-      Bytes.set out (base + j)
-        (Char.chr (Char.code input.[base + j] lxor Char.code keystream.[j]))
+      Bytes.unsafe_set out (base + j)
+        (Char.unsafe_chr (Char.code input.[base + j] lxor Char.code keystream.[j]))
     done
   done;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out
 
-let compute_tag aes h j0 ~aad ~ct =
-  let pad s = String.make ((16 - (String.length s mod 16)) mod 16) '\000' in
-  let s =
-    ghash h [ aad ^ pad aad; ct ^ pad ct; string_of_block (length_block (String.length aad) (String.length ct)) ]
-  in
-  let ek_j0 = block_of_string (Aes.encrypt_block aes (string_of_block j0)) 0 in
-  string_of_block (xor_block s ek_j0)
+let compute_tag aes t j0 ~aad ~ct =
+  let z = Array.make 4 0 in
+  ghash_absorb t z aad;
+  ghash_absorb t z ct;
+  ghash_absorb t z (string_of_words (length_words (String.length aad) (String.length ct)));
+  let ek = Aes.encrypt_block aes (string_of_words j0) in
+  for i = 0 to 3 do
+    z.(i) <- z.(i) lxor word_of ek (4 * i)
+  done;
+  string_of_words z
 
 let encrypt ~key ~iv ?(aad = "") plaintext =
-  let aes, h, j0 = derive ~key ~iv in
+  let aes, t, j0 = derive ~key ~iv in
   let ct = ctr_transform aes j0 plaintext in
-  (ct, compute_tag aes h j0 ~aad ~ct)
+  (ct, compute_tag aes t j0 ~aad ~ct)
 
 let decrypt ~key ~iv ?(aad = "") ~tag ciphertext =
-  let aes, h, j0 = derive ~key ~iv in
-  let expected = compute_tag aes h j0 ~aad ~ct:ciphertext in
+  let aes, t, j0 = derive ~key ~iv in
+  let expected = compute_tag aes t j0 ~aad ~ct:ciphertext in
   (* Constant-time-style comparison: accumulate differences. *)
   let diff = ref (String.length tag lxor 16) in
   String.iteri

@@ -1,7 +1,8 @@
 (** AES-GCM authenticated encryption (NIST SP 800-38D).
 
     WaTZ uses AES-GCM-128 to protect the secret blob of msg3 in the
-    remote-attestation protocol. *)
+    remote-attestation protocol. GHASH runs on a per-key 4-bit table
+    (Shoup's method) over unboxed 32-bit words. *)
 
 val encrypt :
   key:string -> iv:string -> ?aad:string -> string -> string * string
@@ -13,3 +14,8 @@ val decrypt :
   key:string -> iv:string -> ?aad:string -> tag:string -> string -> string option
 (** [decrypt ~key ~iv ~aad ~tag ciphertext] is [Some plaintext] when the
     tag authenticates, [None] otherwise. *)
+
+val ghash_bytes : h:string -> string list -> string
+(** Table-driven GHASH over 16-byte-zero-padded parts under the 16-byte
+    hash subkey [h]. Exposed for differential testing against
+    {!Refcrypto.Gcm.ghash_bytes}. *)

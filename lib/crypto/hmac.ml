@@ -1,11 +1,39 @@
+(* HMAC-SHA-256 with prepared keys: the ipad/opad blocks are hashed
+   once into a pair of saved SHA-256 states, so each MAC is two state
+   restores and the message/digest compresses — no pad re-derivation
+   or key copying per call. *)
+
 let block_size = 64
 
-let sha256 ~key msg =
-  let key = if String.length key > block_size then Sha256.digest key else key in
-  let pad c =
-    String.init block_size (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
-        Char.chr (k lxor c))
-  in
-  let inner = Sha256.digest_list [ pad 0x36; msg ] in
-  Sha256.digest_list [ pad 0x5c; inner ]
+type key = { ictx : Sha256.ctx; octx : Sha256.ctx }
+
+let prepare k =
+  let k = if String.length k > block_size then Sha256.digest k else k in
+  let klen = String.length k in
+  let pad = Bytes.make block_size '\x36' in
+  for i = 0 to klen - 1 do
+    Bytes.unsafe_set pad i (Char.unsafe_chr (Char.code k.[i] lxor 0x36))
+  done;
+  let ictx = Sha256.init () in
+  Sha256.update_bytes ictx pad 0 block_size;
+  for i = 0 to block_size - 1 do
+    (* 0x36 lxor 0x5c = 0x6a flips ipad bytes to opad in place *)
+    Bytes.unsafe_set pad i (Char.unsafe_chr (Char.code (Bytes.unsafe_get pad i) lxor 0x6a))
+  done;
+  let octx = Sha256.init () in
+  Sha256.update_bytes octx pad 0 block_size;
+  { ictx; octx }
+
+(* Single-threaded scratch, like Sha256's message schedule. *)
+let scratch = Sha256.init ()
+let inner = Bytes.create 32
+
+let mac key msg =
+  Sha256.blit key.ictx scratch;
+  Sha256.update scratch msg;
+  Sha256.finalize_into scratch inner 0;
+  Sha256.blit key.octx scratch;
+  Sha256.update_bytes scratch inner 0 32;
+  Sha256.finalize scratch
+
+let sha256 ~key msg = mac (prepare key) msg

@@ -1,5 +1,17 @@
 (** HMAC-SHA-256 (RFC 2104), used by the RFC 6979 deterministic nonce
-    generator. *)
+    generator.
+
+    A {!key} captures the SHA-256 states after the ipad/opad blocks, so
+    repeated MACs under one key (the RFC 6979 loop shape) skip the pad
+    derivation and key block hashing entirely. *)
+
+type key
+
+val prepare : string -> key
+(** Derive the prepared inner/outer states for a key of any length. *)
+
+val mac : key -> string -> string
+(** 32-byte tag under a prepared key. *)
 
 val sha256 : key:string -> string -> string
-(** [sha256 ~key msg] is the 32-byte HMAC tag. *)
+(** One-shot [sha256 ~key msg]: the 32-byte HMAC tag. *)

@@ -1,4 +1,12 @@
-(* Domain parameters from SEC 2 / FIPS 186-4. *)
+(* Domain parameters from SEC 2 / FIPS 186-4.
+
+   Point arithmetic runs on the {!Fe256} Montgomery field. Hot paths:
+   4-bit windowed scalar multiplication, mixed (Z=1) additions against
+   affine tables, a lazily-built fixed-base comb for the generator
+   (base_mul is 64 mixed adds and no doublings), and Shamir's trick for
+   the u1*G + u2*Q shape of ECDSA verification. Points carry a
+   memoized affine window table so long-lived keys (verifier identity,
+   endorsed attestation keys) pay table setup once across sessions. *)
 
 let p = Bn.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
 let n = Bn.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"
@@ -7,64 +15,88 @@ let gx = Bn.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898
 let gy = Bn.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"
 let field = Modring.create p
 let order = Modring.create n
-let a_coeff = Bn.sub p (Bn.of_int 3) (* a = -3 mod p *)
+let field_ring = Fe256.create p
+let scalar_ring = Fe256.create n
+
+module Fe = Fe256
+
+let fp = field_ring
+let fadd = Fe.add fp
+let fsub = Fe.sub fp
+let fmul = Fe.mul fp
+let fsqr = Fe.sqr fp
+
+let fe_a = Fe.of_bn fp (Bn.sub p (Bn.of_int 3)) (* a = -3 mod p *)
+let fe_b = Fe.of_bn fp b_coeff
+
+(* An affine point in Montgomery form; never the point at infinity. *)
+type affine = { ax : Fe.t; ay : Fe.t }
 
 (* Jacobian coordinates: (X, Y, Z) represents (X/Z^2, Y/Z^3); Z = 0 is
-   the point at infinity. *)
-type point = { x : Bn.t; y : Bn.t; z : Bn.t }
+   the point at infinity. [memo] caches the [1..15]P affine window
+   table for this exact point value; [enc] caches the uncompressed
+   SEC 1 encoding (each fresh encode costs a field inversion, and
+   session keys are encoded several times per protocol run). *)
+type point = {
+  x : Fe.t;
+  y : Fe.t;
+  z : Fe.t;
+  mutable memo : affine array option;
+  mutable enc : string option;
+}
 
-let infinity = { x = Bn.one; y = Bn.one; z = Bn.zero }
-let is_infinity pt = Bn.is_zero pt.z
+let jac x y z = { x; y; z; memo = None; enc = None }
+let infinity = jac (Fe.one fp) (Fe.one fp) (Fe.zero fp)
+let is_infinity pt = Fe.is_zero pt.z
+
+let on_curve_fe x y =
+  let lhs = fsqr y in
+  let rhs = fadd (fmul (fsqr x) x) (fadd (fmul fe_a x) fe_b) in
+  Fe.equal lhs rhs
 
 let on_curve x y =
-  let f = field in
   if Bn.compare x p >= 0 || Bn.compare y p >= 0 then false
-  else
-    let lhs = Modring.sqr f y in
-    let rhs = Modring.add f (Modring.mul f (Modring.sqr f x) x)
-        (Modring.add f (Modring.mul f a_coeff x) b_coeff)
-    in
-    Bn.equal lhs rhs
+  else on_curve_fe (Fe.of_bn fp x) (Fe.of_bn fp y)
 
 let of_affine x y =
   if not (on_curve x y) then invalid_arg "P256.of_affine: point not on curve";
-  { x; y; z = Bn.one }
+  jac (Fe.of_bn fp x) (Fe.of_bn fp y) (Fe.one fp)
 
-let base = { x = gx; y = gy; z = Bn.one }
+let base = jac (Fe.of_bn fp gx) (Fe.of_bn fp gy) (Fe.one fp)
 
-let to_affine pt =
+let to_affine_fe pt =
   if is_infinity pt then None
+  else if Fe.equal pt.z (Fe.one fp) then Some { ax = pt.x; ay = pt.y }
   else begin
-    let f = field in
-    let zinv = Modring.inv_prime f pt.z in
-    let zinv2 = Modring.sqr f zinv in
-    let zinv3 = Modring.mul f zinv2 zinv in
-    Some (Modring.mul f pt.x zinv2, Modring.mul f pt.y zinv3)
+    let zinv = Fe.inv fp pt.z in
+    let zinv2 = fsqr zinv in
+    Some { ax = fmul pt.x zinv2; ay = fmul pt.y (fmul zinv2 zinv) }
   end
 
-(* dbl-2001-b: standard Jacobian doubling for a = -3. *)
+let to_affine pt =
+  match to_affine_fe pt with
+  | None -> None
+  | Some a -> Some (Fe.to_bn fp a.ax, Fe.to_bn fp a.ay)
+
+(* dbl-2001-b: Jacobian doubling for a = -3; small-constant products
+   are addition chains (3M + 5S, no generic constant muls). *)
 let double pt =
-  if is_infinity pt || Bn.is_zero pt.y then infinity
+  if is_infinity pt || Fe.is_zero pt.y then infinity
   else begin
-    let f = field in
-    let delta = Modring.sqr f pt.z in
-    let gamma = Modring.sqr f pt.y in
-    let beta = Modring.mul f pt.x gamma in
-    let alpha =
-      Modring.mul f (Bn.of_int 3)
-        (Modring.mul f (Modring.sub f pt.x delta) (Modring.add f pt.x delta))
-    in
-    let x3 = Modring.sub f (Modring.sqr f alpha) (Modring.mul f (Bn.of_int 8) beta) in
-    let z3 =
-      Modring.sub f (Modring.sqr f (Modring.add f pt.y pt.z))
-        (Modring.add f gamma delta)
-    in
-    let y3 =
-      Modring.sub f
-        (Modring.mul f alpha (Modring.sub f (Modring.mul f (Bn.of_int 4) beta) x3))
-        (Modring.mul f (Bn.of_int 8) (Modring.sqr f gamma))
-    in
-    { x = x3; y = y3; z = z3 }
+    let delta = fsqr pt.z in
+    let gamma = fsqr pt.y in
+    let beta = fmul pt.x gamma in
+    let t = fmul (fsub pt.x delta) (fadd pt.x delta) in
+    let alpha = fadd (fadd t t) t in
+    let beta2 = fadd beta beta in
+    let beta4 = fadd beta2 beta2 in
+    let x3 = fsub (fsqr alpha) (fadd beta4 beta4) in
+    let z3 = fsub (fsqr (fadd pt.y pt.z)) (fadd gamma delta) in
+    let g2 = fsqr gamma in
+    let g4 = fadd g2 g2 in
+    let g8 = fadd g4 g4 in
+    let y3 = fsub (fmul alpha (fsub beta4 x3)) (fadd g8 g8) in
+    jac x3 y3 z3
   end
 
 (* add-2007-bl, with the equal/opposite special cases dispatched. *)
@@ -72,66 +104,213 @@ let add p1 p2 =
   if is_infinity p1 then p2
   else if is_infinity p2 then p1
   else begin
-    let f = field in
-    let z1z1 = Modring.sqr f p1.z in
-    let z2z2 = Modring.sqr f p2.z in
-    let u1 = Modring.mul f p1.x z2z2 in
-    let u2 = Modring.mul f p2.x z1z1 in
-    let s1 = Modring.mul f p1.y (Modring.mul f z2z2 p2.z) in
-    let s2 = Modring.mul f p2.y (Modring.mul f z1z1 p1.z) in
-    if Bn.equal u1 u2 then
-      if Bn.equal s1 s2 then double p1 else infinity
+    let z1z1 = fsqr p1.z in
+    let z2z2 = fsqr p2.z in
+    let u1 = fmul p1.x z2z2 in
+    let u2 = fmul p2.x z1z1 in
+    let s1 = fmul p1.y (fmul z2z2 p2.z) in
+    let s2 = fmul p2.y (fmul z1z1 p1.z) in
+    if Fe.equal u1 u2 then if Fe.equal s1 s2 then double p1 else infinity
     else begin
-      let h = Modring.sub f u2 u1 in
-      let i = Modring.sqr f (Modring.mul f (Bn.of_int 2) h) in
-      let j = Modring.mul f h i in
-      let r = Modring.mul f (Bn.of_int 2) (Modring.sub f s2 s1) in
-      let v = Modring.mul f u1 i in
-      let x3 =
-        Modring.sub f (Modring.sub f (Modring.sqr f r) j) (Modring.mul f (Bn.of_int 2) v)
-      in
-      let y3 =
-        Modring.sub f
-          (Modring.mul f r (Modring.sub f v x3))
-          (Modring.mul f (Bn.of_int 2) (Modring.mul f s1 j))
-      in
-      let z3 =
-        Modring.mul f h
-          (Modring.sub f (Modring.sqr f (Modring.add f p1.z p2.z)) (Bn.add z1z1 z2z2 |> Modring.reduce f))
-      in
-      { x = x3; y = y3; z = z3 }
+      let h = fsub u2 u1 in
+      let h2 = fadd h h in
+      let i = fsqr h2 in
+      let j = fmul h i in
+      let sd = fsub s2 s1 in
+      let r = fadd sd sd in
+      let v = fmul u1 i in
+      let x3 = fsub (fsub (fsqr r) j) (fadd v v) in
+      let s1j = fmul s1 j in
+      let y3 = fsub (fmul r (fsub v x3)) (fadd s1j s1j) in
+      let z3 = fmul h (fsub (fsqr (fadd p1.z p2.z)) (fadd z1z1 z2z2)) in
+      jac x3 y3 z3
     end
   end
 
+(* Mixed addition (madd-2007-bl): the second operand is affine (Z = 1),
+   saving ~5 field products over the general add. *)
+let add_affine p1 a =
+  if is_infinity p1 then jac a.ax a.ay (Fe.one fp)
+  else begin
+    let z1z1 = fsqr p1.z in
+    let u2 = fmul a.ax z1z1 in
+    let s2 = fmul a.ay (fmul p1.z z1z1) in
+    if Fe.equal p1.x u2 then
+      if Fe.equal p1.y s2 then double p1 else infinity
+    else begin
+      let h = fsub u2 p1.x in
+      let hh = fsqr h in
+      let hh2 = fadd hh hh in
+      let i = fadd hh2 hh2 in
+      let j = fmul h i in
+      let sd = fsub s2 p1.y in
+      let r = fadd sd sd in
+      let v = fmul p1.x i in
+      let x3 = fsub (fsub (fsqr r) j) (fadd v v) in
+      let yj = fmul p1.y j in
+      let y3 = fsub (fmul r (fsub v x3)) (fadd yj yj) in
+      let z3 = fsub (fsqr (fadd p1.z h)) (fadd z1z1 hh) in
+      jac x3 y3 z3
+    end
+  end
+
+(* Montgomery's batch-inversion trick: one field inversion for a whole
+   table of Jacobian points (none may be infinity). *)
+let batch_to_affine pts =
+  let k = Array.length pts in
+  let prefix = Array.make k (Fe.one fp) in
+  let acc = ref (Fe.one fp) in
+  for i = 0 to k - 1 do
+    prefix.(i) <- !acc;
+    acc := fmul !acc pts.(i).z
+  done;
+  let inv = ref (Fe.inv fp !acc) in
+  let out = Array.make k { ax = Fe.zero fp; ay = Fe.zero fp } in
+  for i = k - 1 downto 0 do
+    let zinv = fmul !inv prefix.(i) in
+    inv := fmul !inv pts.(i).z;
+    let zinv2 = fsqr zinv in
+    out.(i) <- { ax = fmul pts.(i).x zinv2; ay = fmul pts.(i).y (fmul zinv2 zinv) }
+  done;
+  out
+
+(* The [1..15]P affine window table, memoized on the point. *)
+let window_table pt =
+  match pt.memo with
+  | Some tbl -> tbl
+  | None ->
+      let jtbl = Array.make 15 pt in
+      for d = 1 to 14 do
+        jtbl.(d) <- add jtbl.(d - 1) pt
+      done;
+      let tbl = batch_to_affine jtbl in
+      pt.memo <- Some tbl;
+      tbl
+
+let prepare pt = if not (is_infinity pt) then ignore (window_table pt)
+
+(* Scalars as 64 big-endian nibbles; index 0 is the most significant. *)
+let scalar_nibbles k = Bn.to_bytes_be ~len:32 (Bn.mod_ k n)
+
+let nibble s i =
+  let b = Char.code (String.unsafe_get s (i lsr 1)) in
+  if i land 1 = 0 then b lsr 4 else b land 0xf
+
 let mul k pt =
-  let k = Bn.mod_ k n in
-  let bits = Bn.bit_length k in
-  let rec go i acc =
-    if i < 0 then acc
-    else
-      let acc = double acc in
-      let acc = if Bn.testbit k i then add acc pt else acc in
-      go (i - 1) acc
-  in
-  go (bits - 1) infinity
+  if is_infinity pt then infinity
+  else begin
+    let s = scalar_nibbles k in
+    let tbl = window_table pt in
+    let acc = ref infinity in
+    for i = 0 to 63 do
+      if not (is_infinity !acc) then begin
+        acc := double !acc;
+        acc := double !acc;
+        acc := double !acc;
+        acc := double !acc
+      end;
+      let d = nibble s i in
+      if d > 0 then acc := add_affine !acc tbl.(d - 1)
+    done;
+    !acc
+  end
 
-let base_mul k = mul k base
+(* Fixed-base comb: position j holds [1..15] * 16^j * G, affine. Built
+   lazily (one-time ~5 ms) and batch-inverted in a single pass; after
+   that base_mul is at most 64 mixed additions and zero doublings. *)
+let comb = ref None
 
+let get_comb () =
+  match !comb with
+  | Some c -> c
+  | None ->
+      let jrows = Array.make 64 [||] in
+      let pj = ref base in
+      for j = 0 to 63 do
+        let row = Array.make 15 !pj in
+        for d = 1 to 14 do
+          row.(d) <- add row.(d - 1) !pj
+        done;
+        jrows.(j) <- row;
+        if j < 63 then pj := double (double (double (double !pj)))
+      done;
+      let flat = Array.concat (Array.to_list jrows) in
+      let affine = batch_to_affine flat in
+      let c = Array.init 64 (fun j -> Array.sub affine (j * 15) 15) in
+      comb := Some c;
+      c
+
+let base_mul k =
+  let s = scalar_nibbles k in
+  let c = get_comb () in
+  let acc = ref infinity in
+  for i = 0 to 63 do
+    let d = nibble s i in
+    (* nibble index i has significance 63 - i *)
+    if d > 0 then acc := add_affine !acc c.(63 - i).(d - 1)
+  done;
+  !acc
+
+(* Shamir/Straus interleaving for u1*G + u2*Q: one shared doubling
+   ladder, window adds from the generator comb's position-0 table and
+   from Q's memoized table. This is the ECDSA-verify workhorse. *)
+let double_mul u1 u2 q =
+  let s1 = scalar_nibbles u1 in
+  let s2 = scalar_nibbles u2 in
+  let gtbl = (get_comb ()).(0) in
+  let qtbl = if is_infinity q then [||] else window_table q in
+  let acc = ref infinity in
+  for i = 0 to 63 do
+    if not (is_infinity !acc) then begin
+      acc := double !acc;
+      acc := double !acc;
+      acc := double !acc;
+      acc := double !acc
+    end;
+    let d1 = nibble s1 i in
+    if d1 > 0 then acc := add_affine !acc gtbl.(d1 - 1);
+    let d2 = nibble s2 i in
+    if d2 > 0 && Array.length qtbl > 0 then acc := add_affine !acc qtbl.(d2 - 1)
+  done;
+  !acc
+
+(* Cross-multiplied comparison: x1*z2^2 = x2*z1^2 (and same for y with
+   cubes) avoids any inversion. *)
 let equal p1 p2 =
-  match (to_affine p1, to_affine p2) with
-  | None, None -> true
-  | Some (x1, y1), Some (x2, y2) -> Bn.equal x1 x2 && Bn.equal y1 y2
-  | None, Some _ | Some _, None -> false
+  match (is_infinity p1, is_infinity p2) with
+  | true, true -> true
+  | true, false | false, true -> false
+  | false, false ->
+      let z1z1 = fsqr p1.z in
+      let z2z2 = fsqr p2.z in
+      Fe.equal (fmul p1.x z2z2) (fmul p2.x z1z1)
+      && Fe.equal (fmul p1.y (fmul z2z2 p2.z)) (fmul p2.y (fmul z1z1 p1.z))
 
 let encode pt =
-  match to_affine pt with
-  | None -> invalid_arg "P256.encode: point at infinity"
-  | Some (x, y) -> "\x04" ^ Bn.to_bytes_be ~len:32 x ^ Bn.to_bytes_be ~len:32 y
+  match pt.enc with
+  | Some s -> s
+  | None -> (
+    match to_affine pt with
+    | None -> invalid_arg "P256.encode: point at infinity"
+    | Some (x, y) ->
+      let s = "\x04" ^ Bn.to_bytes_be ~len:32 x ^ Bn.to_bytes_be ~len:32 y in
+      pt.enc <- Some s;
+      s)
 
 let decode s =
   if String.length s <> 65 || s.[0] <> '\x04' then None
   else begin
     let x = Bn.of_bytes_be (String.sub s 1 32) in
     let y = Bn.of_bytes_be (String.sub s 33 32) in
-    if on_curve x y then Some { x; y; z = Bn.one } else None
+    if on_curve x y then begin
+      (* a decoded point re-encodes to its own input for free *)
+      let pt = jac (Fe.of_bn fp x) (Fe.of_bn fp y) (Fe.one fp) in
+      pt.enc <- Some s;
+      Some pt
+    end
+    else None
   end
+
+(* Force the one-time lazy tables (the fixed-base comb) so a server's
+   first session does not pay their construction inside its latency. *)
+let prewarm () = ignore (get_comb ())

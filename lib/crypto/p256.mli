@@ -2,16 +2,30 @@
 
     WaTZ selects this curve (§V) for the attestation key pair (ECDSA),
     the session keys (ECDHE) and the evidence signatures. Points are
-    computed in Jacobian coordinates over the {!Modring} field. *)
+    computed in Jacobian coordinates over the {!Fe256} Montgomery
+    field, with 4-bit windowed scalar multiplication, a fixed-base comb
+    for the generator, and Shamir's trick for the ECDSA-verify shape.
+
+    Caution: like the rest of this simulation's crypto, the scalar
+    ladders here are *not* constant-time (window digits index tables,
+    special cases branch). See DESIGN.md on the fast-path contract. *)
 
 type point
-(** A point on the curve, including the point at infinity. *)
+(** A point on the curve, including the point at infinity. Points carry
+    a memoized window table (see {!prepare}); the table is part of the
+    cache, not the value — {!equal} ignores it. *)
 
 val field : Modring.t
-(** The prime field F{_p}. *)
+(** The prime field F{_p} (generic-ring view, kept for tests/tools). *)
 
 val order : Modring.t
-(** The (prime) group order ring F{_n}. *)
+(** The (prime) group order ring F{_n} (generic-ring view). *)
+
+val field_ring : Fe256.ring
+(** Montgomery ring for F{_p} — the fast path used by the point ops. *)
+
+val scalar_ring : Fe256.ring
+(** Montgomery ring for F{_n}, shared with {!Ecdsa}. *)
 
 val n : Bn.t
 (** The group order as an integer. *)
@@ -29,16 +43,36 @@ val to_affine : point -> (Bn.t * Bn.t) option
 
 val add : point -> point -> point
 val double : point -> point
+
 val mul : Bn.t -> point -> point
-(** Scalar multiplication (left-to-right double-and-add). *)
+(** Scalar multiplication, 4-bit windowed. The scalar is reduced mod
+    the group order. Builds (and memoizes) the point's window table. *)
 
 val base_mul : Bn.t -> point
+(** [k]G via the fixed-base comb: at most 64 mixed additions. *)
+
+val double_mul : Bn.t -> Bn.t -> point -> point
+(** [double_mul u1 u2 q] is [u1]G + [u2]Q on a shared doubling ladder
+    (Shamir's trick) — the ECDSA verification inner loop. *)
+
+val prepare : point -> unit
+(** Precompute and memoize the point's window table so later {!mul} /
+    {!double_mul} calls skip table setup. Idempotent; a no-op on the
+    point at infinity. Long-lived verifier keys should be prepared
+    once and reused. *)
+
+val prewarm : unit -> unit
+(** Force the one-time lazy tables (the fixed-base comb for G) so a
+    server's first request does not pay their construction. *)
+
 val equal : point -> point -> bool
 val on_curve : Bn.t -> Bn.t -> bool
 
 val encode : point -> string
-(** Uncompressed SEC 1 encoding: [0x04 || x || y], 65 bytes. Raises
-    [Invalid_argument] on the point at infinity. *)
+(** Uncompressed SEC 1 encoding: [0x04 || x || y], 65 bytes, memoized
+    per point (the first call pays the field inversion; later calls
+    return the cached string). Raises [Invalid_argument] on the point
+    at infinity. *)
 
 val decode : string -> point option
 (** Parses and validates an uncompressed point. *)

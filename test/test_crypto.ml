@@ -425,6 +425,189 @@ let kdf_distinct_secrets () =
   Alcotest.(check bool) "different shared secret, different keys" false
     (String.equal k1.Kdf.k_e k2.Kdf.k_e)
 
+(* ------------------------------------------------------------------ *)
+(* Crypto fast path: KATs at the padding boundaries, one-shot variants,
+   and differentials against the frozen pre-PR implementations
+   (Refcrypto). The fast-path contract is bit-identical output. *)
+
+let pattern n = String.init n (fun i -> Char.chr (i land 0xff))
+
+let sha256_padding_boundaries () =
+  (* 55/56 straddle the one-block padding limit, 63/64/65 the block
+     boundary itself; each exercises a different finalize shape. *)
+  List.iter
+    (fun (n, expected) ->
+      check_hex (Printf.sprintf "%d bytes" n) expected (Sha256.digest (pattern n)))
+    [
+      (55, "463eb28e72f82e0a96c0a4cc53690c571281131f672aa229e0d45ae59b598b59");
+      (56, "da2ae4d6b36748f2a318f23e7ab1dfdf45acdc9d049bd80e59de82a60895f562");
+      (63, "29af2686fd53374a36b0846694cc342177e428d1647515f078784d69cdb9e488");
+      (64, "fdeab9acf3710362bd2658cdc9a29e8f9c757fcf9811603a8c447cd1d9151108");
+      (65, "4bfd2c8b6f1eec7a2afeb48b934ee4b2694182027e6d0fc075074f2fabb31781");
+    ]
+
+let sha256_oneshot_variants () =
+  let s = pattern 119 in
+  let expected = hex_of (Sha256.digest s) in
+  let b = Bytes.of_string ("xx" ^ s ^ "yy") in
+  Alcotest.(check string) "digest_bytes at offset" expected (hex_of (Sha256.digest_bytes b 2 119));
+  let dst = Bytes.make 40 '\xaa' in
+  Sha256.digest_into s dst 4;
+  Alcotest.(check string) "digest_into" expected (hex_of (Bytes.sub_string dst 4 32));
+  Alcotest.(check string) "digest_into preserves prefix" "aaaaaaaa"
+    (hex_of (Bytes.sub_string dst 0 4));
+  Alcotest.(check string) "digest_list" expected
+    (hex_of (Sha256.digest_list [ ""; String.sub s 0 10; String.sub s 10 109 ]))
+
+let qcheck_sha256_matches_ref =
+  QCheck.Test.make ~name:"sha256: fast path = pre-PR reference" ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 400))
+    (fun s -> String.equal (Sha256.digest s) (Refcrypto.Sha256.digest s))
+
+let qcheck_sha256_streaming_chunks =
+  (* Arbitrary chunkings through update_substring must match one-shot. *)
+  QCheck.Test.make ~name:"sha256: chunked streaming = one-shot" ~count:100
+    QCheck.(pair (string_of_size (Gen.int_range 0 300)) (list_of_size (Gen.int_range 1 8) (int_range 0 80)))
+    (fun (s, cuts) ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun c ->
+          let len = min c (String.length s - !pos) in
+          Sha256.update_substring ctx s !pos len;
+          pos := !pos + len)
+        cuts;
+      Sha256.update_substring ctx s !pos (String.length s - !pos);
+      String.equal (Sha256.finalize ctx) (Sha256.digest s))
+
+let qcheck_fe256_matches_modring =
+  (* The Montgomery field vs the generic Barrett ring, on the P-256
+     prime: add/sub/mul/inv agree for any inputs. *)
+  QCheck.Test.make ~name:"fe256: montgomery = modring on P-256 field" ~count:200
+    (QCheck.pair arbitrary_bn arbitrary_bn)
+    (fun (a, b) ->
+      let fr = P256.field_ring and gr = P256.field in
+      let fa = Fe256.of_bn fr a and fb = Fe256.of_bn fr b in
+      let ga = Modring.reduce gr a and gb = Modring.reduce gr b in
+      Bn.equal (Fe256.to_bn fr (Fe256.add fr fa fb)) (Modring.add gr ga gb)
+      && Bn.equal (Fe256.to_bn fr (Fe256.sub fr fa fb)) (Modring.sub gr ga gb)
+      && Bn.equal (Fe256.to_bn fr (Fe256.mul fr fa fb)) (Modring.mul gr ga gb)
+      && (Bn.is_zero ga
+         || Bn.equal (Fe256.to_bn fr (Fe256.inv fr fa)) (Modring.inv_prime gr ga)))
+
+let affine_eq_ref p_new p_old =
+  match (P256.to_affine p_new, Refcrypto.P256.to_affine p_old) with
+  | None, None -> true
+  | Some (x, y), Some (x', y') -> Bn.equal x x' && Bn.equal y y'
+  | _ -> false
+
+let arbitrary_scalar =
+  QCheck.make ~print:Bn.to_hex
+    QCheck.Gen.(map (fun s -> Bn.of_bytes_be s) (string_size (return 32)))
+
+let qcheck_p256_mul_matches_ref =
+  QCheck.Test.make ~name:"p256: windowed mul = pre-PR double-and-add" ~count:20
+    arbitrary_scalar
+    (fun k ->
+      let q_new = P256.base_mul (Bn.of_int 7) and q_old = Refcrypto.P256.mul (Bn.of_int 7) Refcrypto.P256.base in
+      affine_eq_ref (P256.base_mul k) (Refcrypto.P256.base_mul k)
+      && affine_eq_ref (P256.mul k q_new) (Refcrypto.P256.mul k q_old))
+
+let qcheck_ecdsa_sign_matches_ref =
+  (* Same key, same digest, same RFC 6979 nonce: the signatures must be
+     bit-identical, not merely cross-verifiable. *)
+  QCheck.Test.make ~name:"ecdsa: fast sign = pre-PR sign, bit-identical" ~count:10
+    QCheck.(string_of_size (Gen.int_range 0 60))
+    (fun msg ->
+      let priv, pub = Ecdsa.keypair_of_seed msg in
+      let priv_bn = Bn.of_bytes_be (Ecdsa.private_to_bytes priv) in
+      let digest = Sha256.digest msg in
+      let s_new = Ecdsa.sign_digest priv digest in
+      let s_old = Refcrypto.Ecdsa.sign_digest priv_bn digest in
+      let pub_old = Option.get (Refcrypto.P256.of_bytes (P256.encode pub)) in
+      String.equal s_new s_old
+      && Ecdsa.verify_digest pub ~digest ~signature:s_new
+      && Refcrypto.Ecdsa.verify_digest pub_old ~digest ~signature:s_new)
+
+let ecdsa_edge_cases () =
+  let priv, pub = Ecdsa.keypair_of_seed "edge-case-device" in
+  let pub_old = Option.get (Refcrypto.P256.of_bytes (P256.encode pub)) in
+  (* All-zero digest: z = 0 is a legal (if degenerate) hash value. *)
+  let zero = String.make 32 '\000' in
+  let sig_zero = Ecdsa.sign_digest priv zero in
+  Alcotest.(check string) "all-zero digest sign matches reference"
+    (hex_of (Refcrypto.Ecdsa.sign_digest (Bn.of_bytes_be (Ecdsa.private_to_bytes priv)) zero))
+    (hex_of sig_zero);
+  Alcotest.(check bool) "all-zero digest verifies" true
+    (Ecdsa.verify_digest pub ~digest:zero ~signature:sig_zero);
+  (* High-s: (r, n - s) passes the same x-coordinate check; this scheme
+     (like the pre-PR one) does not enforce low-s, and the fast path
+     must not silently start to. *)
+  let digest = Sha256.digest "high-s probe" in
+  let signature = Ecdsa.sign_digest priv digest in
+  let r = String.sub signature 0 32 in
+  let s = Bn.of_bytes_be (String.sub signature 32 32) in
+  let high = r ^ Bn.to_bytes_be ~len:32 (Bn.sub P256.n s) in
+  Alcotest.(check bool) "high-s verdict matches reference"
+    (Refcrypto.Ecdsa.verify_digest pub_old ~digest ~signature:high)
+    (Ecdsa.verify_digest pub ~digest ~signature:high);
+  (* r = 0 and s = 0 are outside [1, n-1] and must be rejected. *)
+  let zero32 = String.make 32 '\000' in
+  Alcotest.(check bool) "r = 0 rejected" false
+    (Ecdsa.verify_digest pub ~digest ~signature:(zero32 ^ String.sub signature 32 32));
+  Alcotest.(check bool) "s = 0 rejected" false
+    (Ecdsa.verify_digest pub ~digest ~signature:(r ^ zero32));
+  (* The point at infinity is not a public key. *)
+  Alcotest.(check bool) "infinity pubkey rejected" false
+    (Ecdsa.verify_digest P256.infinity ~digest ~signature)
+
+let qcheck_ghash_matches_ref =
+  QCheck.Test.make ~name:"gcm: table-driven ghash = pre-PR bitwise ghash" ~count:100
+    QCheck.(pair (string_of_size (Gen.return 16)) (list_of_size (Gen.int_range 0 4) (string_of_size (Gen.int_range 0 60))))
+    (fun (h, parts) ->
+      String.equal (Gcm.ghash_bytes ~h parts) (Refcrypto.Gcm.ghash_bytes ~h parts))
+
+let qcheck_gcm_matches_ref =
+  QCheck.Test.make ~name:"gcm: encrypt = pre-PR encrypt" ~count:50
+    QCheck.(
+      triple (string_of_size (Gen.return 16)) (string_of_size (Gen.return 12))
+        (string_of_size (Gen.int_range 0 200)))
+    (fun (key, iv, pt) ->
+      let ct, tag = Gcm.encrypt ~key ~iv ~aad:"hdr" pt in
+      let ct', tag' = Refcrypto.Gcm.encrypt ~key ~iv ~aad:"hdr" pt in
+      String.equal ct ct' && String.equal tag tag')
+
+let mac_prepared_equivalence () =
+  (* Prepared-key paths (reused SHA contexts / expanded AES subkeys)
+     must match the one-shot derivations for every key-length shape. *)
+  let msg = pattern 133 in
+  List.iter
+    (fun klen ->
+      let key = pattern klen in
+      Alcotest.(check string)
+        (Printf.sprintf "hmac key %d" klen)
+        (hex_of (Hmac.sha256 ~key msg))
+        (hex_of (Hmac.mac (Hmac.prepare key) msg)))
+    [ 0; 20; 64; 65; 131 ];
+  let key16 = pattern 16 in
+  Alcotest.(check string) "cmac prepared = one-shot" (hex_of (Cmac.mac ~key:key16 msg))
+    (hex_of (Cmac.mac_with (Cmac.prepare key16) msg))
+
+let p256_encode_cached_stable () =
+  (* encode memoizes; the cached string must survive point reuse in
+     mul/prepare and still round-trip. *)
+  let pt = P256.base_mul (Bn.of_int 99887766) in
+  let first = P256.encode pt in
+  P256.prepare pt;
+  ignore (P256.mul (Bn.of_int 3) pt);
+  Alcotest.(check string) "second encode identical" (hex_of first) (hex_of (P256.encode pt));
+  match P256.decode first with
+  | None -> Alcotest.fail "cached encoding does not decode"
+  | Some pt' ->
+    Alcotest.(check bool) "decodes to same point" true (P256.equal pt pt');
+    Alcotest.(check string) "decoded point re-encodes for free" (hex_of first)
+      (hex_of (P256.encode pt'))
+
 let case name f = Alcotest.test_case name `Quick f
 let q t = QCheck_alcotest.to_alcotest t
 
@@ -494,4 +677,19 @@ let suite =
         case "unseeded raises" fortuna_unseeded;
       ] );
     ("crypto.kdf", [ case "session key shape" kdf_shape; case "secret separation" kdf_distinct_secrets ]);
+    ( "crypto.fastpath",
+      [
+        case "sha256 padding-boundary KATs" sha256_padding_boundaries;
+        case "sha256 one-shot variants" sha256_oneshot_variants;
+        q qcheck_sha256_matches_ref;
+        q qcheck_sha256_streaming_chunks;
+        q qcheck_fe256_matches_modring;
+        q qcheck_p256_mul_matches_ref;
+        q qcheck_ecdsa_sign_matches_ref;
+        case "ecdsa edge cases" ecdsa_edge_cases;
+        q qcheck_ghash_matches_ref;
+        q qcheck_gcm_matches_ref;
+        case "mac prepared = one-shot" mac_prepared_equivalence;
+        case "p256 cached encoding stable" p256_encode_cached_stable;
+      ] );
   ]
