@@ -221,7 +221,7 @@ let table2 () =
   in
   let rng = Watz_util.Prng.create 0xbe9cL in
   let random n = Watz_util.Prng.bytes rng n in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let hex s n = Watz_util.Hex.encode (String.sub s 0 (min n (String.length s))) in
   let m0 = P.Attester.msg0 attester in
   Printf.printf "  msg0 (attester->verifier, %4d B): G_a = %s...\n" (String.length m0) (hex m0 12);
@@ -271,7 +271,7 @@ let table3 () =
   let random n = Watz_util.Prng.bytes rng n in
   let snapshot (m : P.meter) = (m.P.mem_ns, m.P.keygen_ns, m.P.sym_ns, m.P.asym_ns) in
   let diff (m2, k2, s2, a2) (m1, k1, s1, a1) = (m2 -. m1, k2 -. k1, s2 -. s1, a2 -. a1) in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   (* Key generation at session creation is the msg0 cost (1). *)
   let a_m0 = snapshot (P.Attester.meter attester) in
   let m0 = P.Attester.msg0 attester in
@@ -557,8 +557,11 @@ let attest_storm () =
      everything else must converge (the >=99% acceptance criterion). *)
   let tampering = [ "corrupt"; "truncate"; "mitm-flip" ] in
   let failures = ref [] in
-  List.iter
-    (fun (name, profile) ->
+  let json = Buffer.create 2048 in
+  Buffer.add_string json "{\n";
+  let n_profiles = List.length Storm.profiles in
+  List.iteri
+    (fun i (name, profile) ->
       let config = { Storm.default_config with Storm.sessions = sessions; seed; profile } in
       let r = Storm.run ~config () in
       let rate = Storm.completion_rate r in
@@ -572,6 +575,35 @@ let attest_storm () =
         (lat (fun s -> s.Stats.p95))
         (lat (fun s -> s.Stats.p99))
         r.Storm.ticks;
+      (* Per-phase latency percentiles (simulated ns -> ms), from the
+         storm's log-bucketed histograms over completed sessions. *)
+      List.iter
+        (fun (phase, (h : Watz_obs.Metrics.Histogram.summary)) ->
+          Printf.printf "  %-10s %-9s p50 %.2f ms | p95 %.2f ms | p99 %.2f ms\n" "" phase
+            (ns_to_ms h.Watz_obs.Metrics.Histogram.p50)
+            (ns_to_ms h.Watz_obs.Metrics.Histogram.p95)
+            (ns_to_ms h.Watz_obs.Metrics.Histogram.p99))
+        r.Storm.phases;
+      Buffer.add_string json
+        (Printf.sprintf
+           "  \"%s\": { \"sessions\": %d, \"completed\": %d, \"completion_rate\": %.3f, \
+            \"retries\": %d, \"ticks\": %d, \"phases\": {"
+           name r.Storm.sessions r.Storm.completed rate r.Storm.retries r.Storm.ticks);
+      let n_phases = List.length r.Storm.phases in
+      List.iteri
+        (fun j (phase, (h : Watz_obs.Metrics.Histogram.summary)) ->
+          Buffer.add_string json
+            (Printf.sprintf
+               " \"%s\": { \"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": \
+                %.3f }%s"
+               phase h.Watz_obs.Metrics.Histogram.count
+               (ns_to_ms h.Watz_obs.Metrics.Histogram.p50)
+               (ns_to_ms h.Watz_obs.Metrics.Histogram.p95)
+               (ns_to_ms h.Watz_obs.Metrics.Histogram.p99)
+               (if j < n_phases - 1 then "," else " ")))
+        r.Storm.phases;
+      Buffer.add_string json
+        (Printf.sprintf "} }%s\n" (if i < n_profiles - 1 then "," else ""));
       if List.mem name tampering then begin
         (* Probabilistic corrupt/truncate legitimately complete the
            sessions they never touched; the per-segment MITM must
@@ -582,6 +614,13 @@ let attest_storm () =
       else if rate < 0.99 then
         failures := Printf.sprintf "%s: completion %.1f%% < 99%%" name (100.0 *. rate) :: !failures)
     Storm.profiles;
+  Buffer.add_string json "}\n";
+  if json_out then begin
+    let oc = open_out "BENCH_attest_storm.json" in
+    output_string oc (Buffer.contents json);
+    close_out oc;
+    Printf.printf "  wrote BENCH_attest_storm.json\n"
+  end;
   Printf.printf
     "  (lossy = drop 8%% + dup 5%% + reorder 8%% + delay 25%% + chunk 15%%; tampering profiles\n";
   Printf.printf "   corrupt/truncate/mitm-flip are expected to abort, with typed errors only)\n";

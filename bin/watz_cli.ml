@@ -81,35 +81,122 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Launch a Wasm binary inside the WaTZ runtime")
     Term.(const run $ file $ entry $ tier)
 
+let pp_sim_ns ns = Format.asprintf "%a" Watz_util.Stats.pp_ns (float_of_int ns)
+
 let attest_cmd =
-  let run () =
-    let soc = booted "cli-device" in
-    let service = Watz_attest.Service.install (Watz_tz.Soc.optee soc) in
+  let seed =
+    Arg.(
+      value & opt int64 0x5eedL
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Deterministic seed: crypto nonces, network schedule and the exported trace are \
+                a pure function of it.")
+  in
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON trace of the run (load it in about:tracing or \
+                Perfetto, or summarize it with $(b,watz trace)).")
+  in
+  let run seed trace_file =
+    (* A real networked session on the simulated board (not the pure
+       in-memory protocol run): verifier listener in the normal world,
+       attester crossing the SMC boundary, so the trace shows world
+       switches, supplicant RPCs and both protocol endpoints. *)
+    let tracer = Watz_obs.Trace.create () in
+    let soc = Watz_tz.Soc.manufacture ~seed:"cli-device" () in
+    Watz_tz.Soc.attach_tracer soc tracer;
+    (match Watz_tz.Soc.boot soc with
+    | Ok _ -> ()
+    | Error e -> Format.kasprintf failwith "boot failed: %a" Watz_tz.Boot.pp_boot_error e);
+    let os = Watz_tz.Soc.optee soc in
+    let service = Watz_attest.Service.install os in
     let claim = Watz_crypto.Sha256.digest "cli-application" in
     let policy =
       Watz_attest.Protocol.Verifier.make_policy ~identity_seed:"cli-relying-party"
         ~endorsed_keys:[ Watz_attest.Service.public_key service ]
         ~reference_claims:[ claim ] ~secret_blob:"provisioned secret" ()
     in
-    let rng = Watz_util.Prng.create (Int64.of_float (Unix.gettimeofday () *. 1e6)) in
-    let result =
-      Watz_attest.Protocol.run_local
-        ~random:(Watz_util.Prng.bytes rng)
-        ~policy
-        ~issue:(fun ~anchor ->
-          Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence service ~anchor ~claim))
-        ~expected_verifier:policy.Watz_attest.Protocol.Verifier.identity_pub
+    Watz_tz.Net.configure soc.Watz_tz.Soc.net ~seed ~profile:Watz_tz.Net.perfect;
+    let port = 7007 in
+    let server = Watz.Verifier_app.start soc ~port ~policy in
+    let rng = Watz_util.Prng.create seed in
+    let issue ~anchor =
+      Watz_attest.Evidence.encode (Watz_attest.Service.request_issue os ~anchor ~claim)
     in
-    match result with
-    | Ok r ->
-      Printf.printf "attestation succeeded; blob = %S\n" r.Watz_attest.Protocol.blob;
-      Printf.printf "evidence anchor: %s\n"
-        (Watz_util.Hex.encode
-           r.Watz_attest.Protocol.evidence.Watz_attest.Evidence.body.Watz_attest.Evidence.anchor)
-    | Error e -> Format.printf "attestation failed: %a@." Watz_attest.Protocol.pp_error e
+    let a =
+      Watz.Attester_app.start ~sid:1 soc ~port
+        ~random:(Watz_util.Prng.bytes rng)
+        ~expected_verifier:policy.Watz_attest.Protocol.Verifier.identity_pub ~issue
+    in
+    let ticks = ref 0 in
+    while Watz.Attester_app.outcome a = Watz.Attester_app.Pending && !ticks < 20_000 do
+      incr ticks;
+      Watz_tz.Net.tick soc.Watz_tz.Soc.net;
+      Watz.Verifier_app.step server;
+      Watz.Attester_app.step a;
+      Watz_tz.Simclock.advance soc.Watz_tz.Soc.clock 1_000_000
+    done;
+    (match Watz.Attester_app.outcome a with
+    | Watz.Attester_app.Done blob -> Printf.printf "attestation succeeded; blob = %S\n" blob
+    | Watz.Attester_app.Aborted e ->
+      Format.printf "attestation failed: %a@." Watz_attest.Protocol.pp_error e
+    | Watz.Attester_app.Pending -> print_endline "attestation still pending at max ticks");
+    let events = Watz_obs.Trace.events tracer in
+    let totals = Watz_obs.Export.phase_totals events in
+    let total_of name =
+      match List.find_opt (fun p -> p.Watz_obs.Export.phase_name = name) totals with
+      | Some p -> p.Watz_obs.Export.total_ns
+      | None -> 0
+    in
+    let session = total_of "attest.session" in
+    if session > 0 then begin
+      Printf.printf "phase breakdown (simulated time):\n";
+      List.iter
+        (fun name ->
+          let ns = total_of name in
+          Printf.printf "  %-24s %10s  (%.1f%%)\n" name (pp_sim_ns ns)
+            (100.0 *. float_of_int ns /. float_of_int session))
+        [ "attest.phase.handshake"; "attest.phase.appraisal" ];
+      let sum = total_of "attest.phase.handshake" + total_of "attest.phase.appraisal" in
+      Printf.printf "  %-24s %10s  (phases sum to %s)\n" "attest.session" (pp_sim_ns session)
+        (pp_sim_ns sum)
+    end;
+    match trace_file with
+    | None -> ()
+    | Some path ->
+      Watz_obs.Export.write_file path (Watz_obs.Export.trace_to_chrome tracer);
+      Printf.printf "trace: %d events -> %s\n" (List.length events) path
   in
-  Cmd.v (Cmd.info "attest" ~doc:"Run the remote attestation protocol end to end")
-    Term.(const run $ const ())
+  Cmd.v
+    (Cmd.info "attest"
+       ~doc:"Run the remote attestation protocol end to end on the simulated board")
+    Term.(const run $ seed $ trace_file)
+
+let trace_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json") in
+  let run file =
+    let events = Watz_obs.Export.parse_chrome (read_file file) in
+    let lo, hi = Watz_obs.Export.extent events in
+    Printf.printf "%d events spanning %s of simulated time\n" (List.length events)
+      (pp_sim_ns (hi - lo));
+    Printf.printf "%-28s %6s %12s\n" "span" "count" "total";
+    List.iter
+      (fun p ->
+        Printf.printf "%-28s %6d %12s\n" p.Watz_obs.Export.phase_name p.Watz_obs.Export.spans
+          (pp_sim_ns p.Watz_obs.Export.total_ns))
+      (Watz_obs.Export.phase_totals events);
+    match Watz_obs.Export.instant_counts events with
+    | [] -> ()
+    | instants ->
+      print_string "instants:\n";
+      List.iter (fun (name, n) -> Printf.printf "  %-26s %6d\n" name n) instants
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Summarize a Chrome trace_event JSON file written by $(b,--trace): per-span \
+             inclusive totals and instant-event counts")
+    Term.(const run $ file)
 
 let attest_storm_cmd =
   let sessions =
@@ -133,7 +220,13 @@ let attest_storm_cmd =
       value & flag
       & info [ "smoke" ] ~doc:"Small, fast run (8 sessions) for CI; still asserts completion.")
   in
-  let run sessions seed profile_name smoke =
+  let trace_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON trace of the whole storm.")
+  in
+  let run sessions seed profile_name smoke trace_file =
     match Watz.Storm.profile_named profile_name with
     | None ->
       Printf.eprintf "unknown profile %S; known: %s\n" profile_name
@@ -142,7 +235,17 @@ let attest_storm_cmd =
     | Some profile ->
       let sessions = if smoke then min sessions 8 else sessions in
       let config = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile } in
-      let r = Watz.Storm.run ~config () in
+      let tracer =
+        match trace_file with None -> None | Some _ -> Some (Watz_obs.Trace.create ())
+      in
+      let r = Watz.Storm.run ~config ?tracer () in
+      (match (trace_file, tracer) with
+      | Some path, Some t ->
+        Watz_obs.Export.write_file path (Watz_obs.Export.trace_to_chrome t);
+        Printf.printf "trace: %d events (%d dropped) -> %s\n"
+          (List.length (Watz_obs.Trace.events t))
+          (Watz_obs.Trace.dropped t) path
+      | _ -> ());
       Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed Watz.Storm.pp_report r;
       (* Under non-tampering profiles, not completing is a failure. *)
       let tampering =
@@ -157,7 +260,7 @@ let attest_storm_cmd =
   Cmd.v
     (Cmd.info "attest-storm"
        ~doc:"Run many concurrent attestation sessions over a fault-injected network")
-    Term.(const run $ sessions $ seed $ profile $ smoke)
+    Term.(const run $ sessions $ seed $ profile $ smoke $ trace_file)
 
 let verify_protocol_cmd =
   let run () =
@@ -194,4 +297,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ boot_cmd; measure_cmd; run_cmd; attest_cmd; attest_storm_cmd; verify_protocol_cmd; sql_cmd ]))
+          [
+            boot_cmd; measure_cmd; run_cmd; attest_cmd; attest_storm_cmd; trace_cmd;
+            verify_protocol_cmd; sql_cmd;
+          ]))

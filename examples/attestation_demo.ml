@@ -68,7 +68,7 @@ let () =
     let issue ~anchor =
       Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence issue_service ~anchor ~claim)
     in
-    match P.run_local ~random ~policy ~issue ~expected_verifier with
+    match P.run_local ~random ~policy ~issue ~expected_verifier () with
     | Ok r -> Printf.printf "%-40s accepted (blob %S)\n" name r.P.blob
     | Error e -> Format.printf "%-40s rejected: %a@." name P.pp_error e
   in

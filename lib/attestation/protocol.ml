@@ -20,6 +20,11 @@
     symmetric and asymmetric cryptography). *)
 
 module C = Watz_crypto
+module T = Watz_obs.Trace
+
+(* Protocol state machines run in the secure world; their spans carry
+   that world tag and the session correlation id the driver chose. *)
+let tspan trace sid name f = T.span trace T.Secure ~session:sid name f
 
 (* ------------------------------------------------------------------ *)
 (* Cost metering (Table III) *)
@@ -117,6 +122,8 @@ module Attester = struct
     expected_verifier : C.P256.point;
         (* hardcoded in the Wasm application; part of its measurement *)
     meter : meter;
+    trace : T.t; (* observability sink; T.null when not tracing *)
+    sid : int; (* session correlation id for trace events *)
     mutable session : C.Kdf.session_keys option;
     mutable anchor : string option;
     mutable state : state;
@@ -132,16 +139,21 @@ module Attester = struct
   (** [create ~random ~expected_verifier] makes a fresh session: an
       ephemeral ECDHE key pair is generated immediately (cost ① in
       Table III). *)
-  let create ~random ~expected_verifier =
+  let create ?(trace = T.null) ?(sid = T.no_session) ~random ~expected_verifier () =
     let meter = fresh_meter () in
     (* The verifier identity outlives sessions; make sure its window
        table is built once, not inside each msg1 appraisal. *)
     C.P256.prepare expected_verifier;
-    let keys = timed meter Keygen (fun () -> C.Ecdh.generate ~random) in
+    let keys =
+      tspan trace sid "crypto.ecdh_keygen" (fun () ->
+          timed meter Keygen (fun () -> C.Ecdh.generate ~random))
+    in
     {
       keys;
       expected_verifier;
       meter;
+      trace;
+      sid;
       session = None;
       anchor = None;
       state = Expect_msg1;
@@ -154,7 +166,8 @@ module Attester = struct
   let meter t = t.meter
 
   let msg0 t =
-    timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub)
+    tspan t.trace t.sid "ra.msg0_build" (fun () ->
+        timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub))
 
   (** Process msg1: key agreement (⑤), MAC, hardcoded-identity check,
       session-key signature (④). Returns the session {e anchor} the
@@ -163,10 +176,13 @@ module Attester = struct
   let handle_msg1 t raw : (string, error) result =
     if t.state <> Expect_msg1 then begin
       match (t.last_msg1, t.anchor) with
-      | Some prev, Some anchor when String.equal prev raw -> Ok anchor (* retransmit: idempotent *)
+      | Some prev, Some anchor when String.equal prev raw ->
+        T.instant t.trace T.Secure ~session:t.sid "ra.retransmit_msg1";
+        Ok anchor (* retransmit: idempotent *)
       | _ -> Error (Malformed "attester: unexpected msg1")
     end
-    else begin
+    else tspan t.trace t.sid "ra.msg1_handle" @@ fun () ->
+    begin
       let expected_len = point_len + point_len + sig_len + mac_len in
       if String.length raw <> expected_len then Error (Malformed "msg1 length")
       else begin
@@ -179,8 +195,9 @@ module Attester = struct
         let* v_pub = decode_point ~what:"msg1 V" v_raw in
         (* Derive the shared secrets (⑤): needed before the MAC check. *)
         let shared =
-          timed t.meter Keygen (fun () ->
-              C.Ecdh.shared_secret ~priv:t.keys.C.Ecdh.priv ~peer:gv)
+          tspan t.trace t.sid "crypto.ecdh" (fun () ->
+              timed t.meter Keygen (fun () ->
+                  C.Ecdh.shared_secret ~priv:t.keys.C.Ecdh.priv ~peer:gv))
         in
         match shared with
         | None -> Error (Malformed "msg1: degenerate session key")
@@ -197,9 +214,10 @@ module Attester = struct
             (* [v_pub] equals [t.expected_verifier]; verify with the
                long-lived point so its memoized table is reused. *)
             let session_sig_ok =
-              timed t.meter Asym (fun () ->
-                  C.Ecdsa.verify t.expected_verifier ~msg:(gv_raw ^ ga_raw)
-                    ~signature:sig_session)
+              tspan t.trace t.sid "crypto.ecdsa_verify" (fun () ->
+                  timed t.meter Asym (fun () ->
+                      C.Ecdsa.verify t.expected_verifier ~msg:(gv_raw ^ ga_raw)
+                        ~signature:sig_session))
             in
             if not session_sig_ok then Error Bad_session_signature
             else begin
@@ -220,24 +238,29 @@ module Attester = struct
   let msg2 t ~evidence : (string, error) result =
     match (t.state, t.session) with
     | Need_evidence, Some session ->
-      let ga_raw = timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub) in
-      let content2 = ga_raw ^ evidence in
-      let tag2 = mac t.meter session.C.Kdf.k_m content2 in
-      t.state <- Expect_msg3;
-      let m2 = content2 ^ tag2 in
-      t.msg2_cache <- Some m2;
-      Ok m2
+      tspan t.trace t.sid "ra.msg2_build" (fun () ->
+          let ga_raw = timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub) in
+          let content2 = ga_raw ^ evidence in
+          let tag2 = mac t.meter session.C.Kdf.k_m content2 in
+          t.state <- Expect_msg3;
+          let m2 = content2 ^ tag2 in
+          t.msg2_cache <- Some m2;
+          Ok m2)
     | Expect_msg3, Some _ -> (
       (* Rebuilding msg2 for a retransmission must not re-derive state. *)
       match t.msg2_cache with
-      | Some m2 -> Ok m2
+      | Some m2 ->
+        T.instant t.trace T.Secure ~session:t.sid "ra.retransmit_msg2";
+        Ok m2
       | None -> Error (Malformed "attester: msg2 already consumed"))
     | _, _ -> Error (Malformed "attester: msg2 before handshake")
 
   let handle_msg3 t raw : (string, error) result =
     if t.state = Complete then begin
       match (t.last_msg3, t.blob) with
-      | Some prev, Some blob when String.equal prev raw -> Ok blob (* retransmit: idempotent *)
+      | Some prev, Some blob when String.equal prev raw ->
+        T.instant t.trace T.Secure ~session:t.sid "ra.retransmit_msg3";
+        Ok blob (* retransmit: idempotent *)
       | _ -> Error (Malformed "attester: unexpected msg3")
     end
     else if t.state <> Expect_msg3 then Error (Malformed "attester: unexpected msg3")
@@ -246,14 +269,16 @@ module Attester = struct
       | None -> Error (Malformed "attester: no session keys")
       | Some session ->
         if String.length raw < iv_len + mac_len then Error (Malformed "msg3 length")
-        else begin
+        else tspan t.trace t.sid "ra.msg3_handle" @@ fun () ->
+        begin
           let iv = String.sub raw 0 iv_len in
           let ct_len = String.length raw - iv_len - mac_len in
           let ct = String.sub raw iv_len ct_len in
           let tag = String.sub raw (iv_len + ct_len) mac_len in
           let plain =
-            timed t.meter Sym (fun () ->
-                C.Gcm.decrypt ~key:session.C.Kdf.k_e ~iv ~tag ct)
+            tspan t.trace t.sid "crypto.aes_gcm_decrypt" (fun () ->
+                timed t.meter Sym (fun () ->
+                    C.Gcm.decrypt ~key:session.C.Kdf.k_e ~iv ~tag ct))
           in
           match plain with
           | None ->
@@ -302,6 +327,8 @@ module Verifier = struct
     ga_raw : string; (* attester's session key from msg0 *)
     session_keys : C.Kdf.session_keys;
     meter : meter;
+    trace : T.t;
+    sid : int;
     mutable accepted_evidence : Evidence.signed option;
     mutable msg1 : string; (* cached reply, resent on a msg0 retransmit *)
     mutable msg2_cache : (string * string) option; (* (raw msg2, msg3 reply) *)
@@ -317,20 +344,29 @@ module Verifier = struct
 
   (** Handle msg0: generate the verifier's ephemeral pair and the
       shared secrets (②), sign both session keys (③), reply msg1. *)
-  let handle_msg0 policy ~random raw : (session * string, error) result =
+  let handle_msg0 ?(trace = T.null) ?(sid = T.no_session) policy ~random raw :
+      (session * string, error) result =
     if String.length raw <> point_len then Error (Malformed "msg0 length")
-    else begin
+    else tspan trace sid "ra.msg0_handle" @@ fun () ->
+    begin
       let meter = fresh_meter () in
       let* ga = decode_point ~what:"msg0 G_a" raw in
-      let keys = timed meter Keygen (fun () -> C.Ecdh.generate ~random) in
-      match timed meter Keygen (fun () -> C.Ecdh.shared_secret ~priv:keys.C.Ecdh.priv ~peer:ga) with
+      let keys =
+        tspan trace sid "crypto.ecdh_keygen" (fun () ->
+            timed meter Keygen (fun () -> C.Ecdh.generate ~random))
+      in
+      match
+        tspan trace sid "crypto.ecdh" (fun () ->
+            timed meter Keygen (fun () -> C.Ecdh.shared_secret ~priv:keys.C.Ecdh.priv ~peer:ga))
+      with
       | None -> Error (Malformed "msg0: degenerate session key")
       | Some shared ->
         let session_keys = derive_session meter shared in
         let gv_raw = timed meter Mem (fun () -> C.P256.encode keys.C.Ecdh.pub) in
         let v_raw = C.P256.encode policy.identity_pub in
         let signature =
-          timed meter Asym (fun () -> C.Ecdsa.sign policy.identity_priv (gv_raw ^ raw))
+          tspan trace sid "crypto.ecdsa_sign" (fun () ->
+              timed meter Asym (fun () -> C.Ecdsa.sign policy.identity_priv (gv_raw ^ raw)))
         in
         let content1 = gv_raw ^ v_raw ^ signature in
         let tag = mac meter session_keys.C.Kdf.k_m content1 in
@@ -342,6 +378,8 @@ module Verifier = struct
             ga_raw = raw;
             session_keys;
             meter;
+            trace;
+            sid;
             accepted_evidence = None;
             msg1 = m1;
             msg2_cache = None;
@@ -356,13 +394,16 @@ module Verifier = struct
       blob under AES-GCM. *)
   let handle_msg2 session ~random raw : (string, error) result =
     match session.msg2_cache with
-    | Some (prev, m3) when String.equal prev raw -> Ok m3 (* retransmit: idempotent *)
+    | Some (prev, m3) when String.equal prev raw ->
+      T.instant session.trace T.Secure ~session:session.sid "ra.retransmit_msg2";
+      Ok m3 (* retransmit: idempotent *)
     | _ when session.accepted_evidence <> None ->
       (* A *different* msg2 after acceptance must not reopen appraisal. *)
       Error (Malformed "verifier: msg2 after completed appraisal")
     | _ ->
     if String.length raw < point_len + mac_len then Error (Malformed "msg2 length")
-    else begin
+    else tspan session.trace session.sid "ra.msg2_handle" @@ fun () ->
+    begin
       let content2 = String.sub raw 0 (String.length raw - mac_len) in
       let tag = String.sub raw (String.length raw - mac_len) mac_len in
       let* () =
@@ -392,8 +433,9 @@ module Verifier = struct
              table is shared across every session of this device. *)
           if
             not
-              (timed session.meter Asym (fun () ->
-                   Evidence.verify_signature_with endorsed evidence))
+              (tspan session.trace session.sid "ra.quote_verify" (fun () ->
+                   timed session.meter Asym (fun () ->
+                       Evidence.verify_signature_with endorsed evidence)))
           then Error Bad_evidence_signature
           else if not (session.policy.accept_version evidence.Evidence.body.Evidence.version)
           then Error (Outdated_version evidence.Evidence.body.Evidence.version)
@@ -407,9 +449,10 @@ module Verifier = struct
             session.accepted_evidence <- Some evidence;
             let iv = random iv_len in
             let ct, gcm_tag =
-              timed session.meter Sym (fun () ->
-                  C.Gcm.encrypt ~key:session.session_keys.C.Kdf.k_e ~iv
-                    session.policy.secret_blob)
+              tspan session.trace session.sid "crypto.aes_gcm_encrypt" (fun () ->
+                  timed session.meter Sym (fun () ->
+                      C.Gcm.encrypt ~key:session.session_keys.C.Kdf.k_e ~iv
+                        session.policy.secret_blob))
             in
             let m3 = iv ^ ct ^ gcm_tag in
             session.msg2_cache <- Some (raw, m3);
@@ -431,11 +474,11 @@ type run_result = {
   evidence : Evidence.signed;
 }
 
-let run_local ~random ~(policy : Verifier.policy) ~issue ~expected_verifier :
+let run_local ?(trace = T.null) ~random ~(policy : Verifier.policy) ~issue ~expected_verifier () :
     (run_result, error) result =
-  let attester = Attester.create ~random ~expected_verifier in
+  let attester = Attester.create ~trace ~random ~expected_verifier () in
   let m0 = Attester.msg0 attester in
-  let* vsession, m1 = Verifier.handle_msg0 policy ~random m0 in
+  let* vsession, m1 = Verifier.handle_msg0 ~trace policy ~random m0 in
   let* anchor = Attester.handle_msg1 attester m1 in
   let evidence = issue ~anchor in
   let* m2 = Attester.msg2 attester ~evidence in

@@ -58,7 +58,12 @@ let install os =
       | "issue" ->
         let anchor = Watz_util.Bytesio.Reader.bytes r 32 in
         let claim = Watz_util.Bytesio.Reader.bytes r 32 in
-        Evidence.encode (issue_evidence service ~anchor ~claim)
+        (* The evidence signature (⑥ in Table III) is the service's one
+           expensive step; trace it as the secure-world signing seam. *)
+        Watz_obs.Trace.span
+          (Watz_tz.Simclock.tracer os.Watz_tz.Optee.clock)
+          Watz_obs.Trace.Secure ~session:Watz_obs.Trace.no_session "crypto.ecdsa_sign"
+          (fun () -> Evidence.encode (issue_evidence service ~anchor ~claim))
       | other -> failwith ("attestation service: unknown command " ^ other));
   service
 

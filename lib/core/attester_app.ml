@@ -19,6 +19,7 @@
       values — never as escaping exceptions. *)
 
 module P = Watz_attest.Protocol
+module T = Watz_obs.Trace
 
 type retry = {
   initial_timeout_ns : int64; (* first deadline after a send *)
@@ -41,6 +42,7 @@ type t = {
   proto : P.Attester.t;
   issue : anchor:string -> string; (* encoded evidence for the anchor *)
   retry : retry;
+  sid : int; (* trace correlation id *)
   mutable phase : phase;
   mutable outcome : outcome;
   mutable outstanding : string; (* last frame sent; retransmitted on deadline *)
@@ -49,10 +51,12 @@ type t = {
   mutable retries_left : int;
   mutable retries : int; (* retransmissions performed, for reporting *)
   started_ns : int64;
+  mutable msg2_sent_ns : int64; (* phase boundary; 0 until msg2 went out *)
   mutable finished_ns : int64;
 }
 
 let now t = Watz_tz.Soc.now_ns t.soc
+let tr t = Watz_tz.Soc.tracer t.soc
 
 let arm t =
   t.deadline_ns <- Int64.add (now t) t.timeout_ns
@@ -63,7 +67,23 @@ let rearm_fresh t =
   t.retries_left <- t.retry.max_retries;
   arm t
 
+(* The driver's session and phase spans tile [started_ns, finished_ns]:
+   "attest.phase.handshake" runs from msg0 until msg2 is on the wire
+   (key exchange, evidence collection, msg2 build), then
+   "attest.phase.appraisal" until the session terminates (verifier
+   appraisal latency + msg3 handling). The driver runs in the normal
+   world, so its spans carry that tag; the protocol work inside smc
+   shows up as secure-world spans within. *)
 let finish t outcome =
+  let trace = tr t in
+  (match t.phase with
+  | Await_msg1 -> T.end_ trace T.Normal ~session:t.sid "attest.phase.handshake"
+  | Await_msg3 -> T.end_ trace T.Normal ~session:t.sid "attest.phase.appraisal"
+  | Finished -> ());
+  (match outcome with
+  | Aborted _ -> T.instant trace T.Normal ~session:t.sid "attest.abort"
+  | Done _ | Pending -> ());
+  T.end_ trace T.Normal ~session:t.sid "attest.session";
   t.outcome <- outcome;
   t.phase <- Finished;
   t.finished_ns <- now t;
@@ -83,11 +103,16 @@ let send t frame =
 (** Open a connection to the verifier's port and send msg0. The
     attester's protocol state (ephemeral key generation included) runs
     in the secure world; [issue] must return encoded evidence for the
-    session anchor (normally by asking the attestation service). *)
-let start ?(retry = default_retry) soc ~port ~random ~expected_verifier ~issue =
+    session anchor (normally by asking the attestation service).
+    [sid] labels every trace event of this session. *)
+let start ?(retry = default_retry) ?(sid = T.no_session) soc ~port ~random ~expected_verifier
+    ~issue =
+  let trace = Watz_tz.Soc.tracer soc in
+  T.begin_ trace T.Normal ~session:sid "attest.session";
+  T.begin_ trace T.Normal ~session:sid "attest.phase.handshake";
   let conn = Watz_tz.Net.connect soc.Watz_tz.Soc.net ~port in
   let proto =
-    Watz_tz.Soc.smc soc (fun () -> P.Attester.create ~random ~expected_verifier)
+    Watz_tz.Soc.smc soc (fun () -> P.Attester.create ~trace ~sid ~random ~expected_verifier ())
   in
   let m0 = P.Attester.msg0 proto in
   let t =
@@ -97,6 +122,7 @@ let start ?(retry = default_retry) soc ~port ~random ~expected_verifier ~issue =
       proto;
       issue;
       retry;
+      sid;
       phase = Await_msg1;
       outcome = Pending;
       outstanding = m0;
@@ -105,6 +131,7 @@ let start ?(retry = default_retry) soc ~port ~random ~expected_verifier ~issue =
       retries_left = retry.max_retries;
       retries = 0;
       started_ns = Watz_tz.Soc.now_ns soc;
+      msg2_sent_ns = 0L;
       finished_ns = 0L;
     }
   in
@@ -116,6 +143,11 @@ let outcome t = t.outcome
 let retries t = t.retries
 let started_ns t = t.started_ns
 let finished_ns t = t.finished_ns
+
+(** Phase boundary timestamps for per-phase latency accounting: on a
+    completed session, handshake = msg0 → msg2 on the wire, appraisal =
+    msg2 → blob received; the two tile the session latency exactly. *)
+let msg2_sent_ns t = t.msg2_sent_ns
 
 let handle_frame t frame =
   match t.phase with
@@ -131,6 +163,10 @@ let handle_frame t frame =
         t.outstanding <- m2;
         if send t m2 then begin
           t.phase <- Await_msg3;
+          t.msg2_sent_ns <- now t;
+          let trace = tr t in
+          T.end_ trace T.Normal ~session:t.sid "attest.phase.handshake";
+          T.begin_ trace T.Normal ~session:t.sid "attest.phase.appraisal";
           rearm_fresh t
         end))
   | Await_msg3 -> (
@@ -154,6 +190,7 @@ let on_deadline t =
          | Await_msg3 -> "attester: awaiting msg3"
          | Finished -> "attester: finished"))
   else begin
+    T.instant (tr t) T.Normal ~session:t.sid "attest.retransmit";
     t.retries_left <- t.retries_left - 1;
     t.retries <- t.retries + 1;
     t.timeout_ns <-

@@ -20,6 +20,7 @@
 module Wasi = Watz_wasi.Wasi
 module Wasi_ra = Watz_wasi.Wasi_ra
 module W = Watz_wasm
+module T = Watz_obs.Trace
 
 type tier = Interp | Fast | Aot
 
@@ -50,18 +51,23 @@ type instance =
 let tier_of_prepared = function P_interp _ -> Interp | P_fast _ -> Fast | P_aot _ -> Aot
 let tier_of_instance = function I_interp _ -> Interp | I_fast _ -> Fast | I_aot _ -> Aot
 
-(** Decode + validate + tier-specific pre-compilation. *)
-let prepare tier bytes : prepared =
-  let m = W.Decode.decode bytes in
-  W.Validate.validate m;
+(** Decode + validate + tier-specific pre-compilation. The pipeline
+    stages trace as secure-world spans (they run inside the runtime
+    TA); pass the board's tracer to see them. *)
+let prepare ?(trace = T.null) ?(sid = T.no_session) tier bytes : prepared =
+  let m = T.span trace T.Secure ~session:sid "engine.decode" (fun () -> W.Decode.decode bytes) in
+  T.span trace T.Secure ~session:sid "engine.validate" (fun () -> W.Validate.validate m);
   match tier with
   | Interp -> P_interp m
-  | Fast -> P_fast (W.Fastinterp.compile m)
+  | Fast ->
+    P_fast (T.span trace T.Secure ~session:sid "engine.compile" (fun () -> W.Fastinterp.compile m))
   | Aot -> P_aot m
 
 (** Link a prepared module against WASI (and WASI-RA when [ra_env] is
     given) and attach the exported linear memory to [wasi_env]. *)
-let instantiate ?ra_env ~wasi_env (p : prepared) : instance =
+let instantiate ?(trace = T.null) ?(sid = T.no_session) ?ra_env ~wasi_env (p : prepared) :
+    instance =
+  T.span trace T.Secure ~session:sid "engine.instantiate" @@ fun () ->
   match p with
   | P_interp m ->
     let bindings =

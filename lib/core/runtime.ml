@@ -64,6 +64,7 @@ let total_ns s =
 type app = {
   claim : string; (* SHA-256 measurement of the bytecode *)
   tier : exec_tier;
+  invoke_label : string; (* static span name, so invoke never allocates for tracing *)
   instance : Engine.instance;
   wasi_env : Wasi.env;
   ra_env : Wasi_ra.env;
@@ -85,10 +86,19 @@ let module_cache : (string * exec_tier, Engine.prepared) Hashtbl.t = Hashtbl.cre
    modules cannot pin their bytecode strings forever. *)
 let measure_cache : (string, string) Hashtbl.t = Hashtbl.create 16
 
+(** Runtime-wide metrics: hit/miss counters for the measurement memo
+    and the prepared-module cache, so cache behaviour is observable
+    (and testable) instead of inferred from timing. Reset along with
+    the caches by {!cache_clear}. *)
+let metrics = Watz_obs.Metrics.create ()
+
 let measure wasm_bytes =
   match Hashtbl.find_opt measure_cache wasm_bytes with
-  | Some claim -> claim
+  | Some claim ->
+    Watz_obs.Metrics.incr metrics "measure_memo.hits";
+    claim
   | None ->
+    Watz_obs.Metrics.incr metrics "measure_memo.misses";
     let claim = Watz_crypto.Sha256.digest wasm_bytes in
     if Hashtbl.length measure_cache >= 64 then Hashtbl.reset measure_cache;
     Hashtbl.add measure_cache wasm_bytes claim;
@@ -96,9 +106,22 @@ let measure wasm_bytes =
 
 let cache_clear () =
   Hashtbl.reset module_cache;
-  Hashtbl.reset measure_cache
+  Hashtbl.reset measure_cache;
+  Watz_obs.Metrics.reset metrics
 
 let cache_size () = Hashtbl.length module_cache
+
+(** (hits, misses) of the prepared-module cache since the last
+    {!cache_clear}. *)
+let module_cache_stats () =
+  ( Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "module_cache.hits"),
+    Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "module_cache.misses") )
+
+(** (hits, misses) of the measurement memo since the last
+    {!cache_clear}. *)
+let measure_memo_stats () =
+  ( Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "measure_memo.hits"),
+    Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "measure_memo.misses") )
 
 let watz_ta_uuid = "a7c9e1f0-watz-runtime"
 
@@ -126,6 +149,10 @@ let time f =
     [~entry:None] to skip). Returns the running app for further
     invocations. *)
 let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
+  let module T = Watz_obs.Trace in
+  let trace = Watz_tz.Soc.tracer soc in
+  let sid = T.no_session in
+  T.begin_ trace T.Normal ~session:sid "runtime.load";
   let os = Watz_tz.Soc.optee soc in
   (* Normal world: stage the binary in shared memory (9 MB cap). *)
   let shm = Watz_tz.Optee.shm_alloc os (String.length wasm_bytes) in
@@ -144,9 +171,13 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
         code)
   in
   Watz_tz.Optee.shm_free os shm;
-  let hash_ns, claim = time (fun () -> measure bytecode) in
+  let hash_ns, claim =
+    T.span trace T.Secure ~session:sid "launch.measure" (fun () ->
+        time (fun () -> measure bytecode))
+  in
   let output = Buffer.create 256 in
   let runtime_init_ns, (wasi_env, ra_env) =
+    T.span trace T.Secure ~session:sid "launch.runtime_init" @@ fun () ->
     time (fun () ->
         let wasi_env =
           Wasi.make_env ~args:config.args
@@ -169,18 +200,30 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
      hit on the measurement computed above. *)
   let cache_key = (claim, config.tier) in
   let cache_hit = config.use_cache && Hashtbl.mem module_cache cache_key in
+  if config.use_cache then begin
+    if cache_hit then begin
+      Watz_obs.Metrics.incr metrics "module_cache.hits";
+      T.instant trace T.Secure ~session:sid "module_cache.hit"
+    end
+    else begin
+      Watz_obs.Metrics.incr metrics "module_cache.misses";
+      T.instant trace T.Secure ~session:sid "module_cache.miss"
+    end
+  end;
   let load_ns, prepared =
+    T.span trace T.Secure ~session:sid "launch.load" @@ fun () ->
     time (fun () ->
         match if config.use_cache then Hashtbl.find_opt module_cache cache_key else None with
         | Some p -> p
         | None ->
-          let p = Engine.prepare config.tier bytecode in
+          let p = Engine.prepare ~trace ~sid config.tier bytecode in
           if config.use_cache then Hashtbl.replace module_cache cache_key p;
           p)
   in
   let instantiate_ns, instance =
+    T.span trace T.Secure ~session:sid "launch.instantiate" @@ fun () ->
     time (fun () ->
-        let inst = Engine.instantiate ~ra_env ~wasi_env prepared in
+        let inst = Engine.instantiate ~trace ~sid ~ra_env ~wasi_env prepared in
         (* Enforce the TA heap budget on the app's linear memory. *)
         (match wasi_env.Wasi.memory with
         | Some mem -> Watz_wasm.Instance.Memory.set_limit_bytes mem (Some config.heap_bytes)
@@ -188,6 +231,7 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
         inst)
   in
   let execute_ns, () =
+    T.span trace T.Secure ~session:sid "launch.execute" @@ fun () ->
     time (fun () ->
         match entry with
         | None -> ()
@@ -196,9 +240,15 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
           with Wasi.Proc_exit code -> wasi_env.Wasi.exit_code <- Some code))
   in
   Watz_tz.Simclock.advance soc.Watz_tz.Soc.clock soc.Watz_tz.Soc.costs.Watz_tz.Simclock.smc_return_ns;
+  T.end_ trace T.Normal ~session:sid "runtime.load";
   {
     claim;
     tier = config.tier;
+    invoke_label =
+      (match config.tier with
+      | Interp -> "invoke.interp"
+      | Fast -> "invoke.fast"
+      | Aot -> "invoke.aot");
     instance;
     wasi_env;
     ra_env;
@@ -222,8 +272,10 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
     caller is charged one world round trip). *)
 let invoke app name args =
   Watz_tz.Soc.smc app.soc (fun () ->
-      try Engine.invoke app.instance name args
-      with Watz_wasm.Instance.Trap m -> raise (App_trap m))
+      Watz_obs.Trace.span (Watz_tz.Soc.tracer app.soc) Watz_obs.Trace.Secure
+        ~session:Watz_obs.Trace.no_session app.invoke_label (fun () ->
+          try Engine.invoke app.instance name args
+          with Watz_wasm.Instance.Trap m -> raise (App_trap m)))
 
 let output app = Buffer.contents app.output
 let claim app = app.claim

@@ -14,6 +14,7 @@ module P = Watz_attest.Protocol
 module Net = Watz_tz.Net
 module Soc = Watz_tz.Soc
 module Stats = Watz_util.Stats
+module Histogram = Watz_obs.Metrics.Histogram
 
 type config = {
   sessions : int; (* concurrent attesters *)
@@ -75,6 +76,10 @@ type report = {
   server : (string * int) list; (* verifier-side counters *)
   aborts : (string * int) list; (* histogram of abort reasons *)
   latency : Stats.summary option; (* per completed session, sim ns *)
+  phases : (string * Histogram.summary) list;
+      (* per-phase latency distributions over completed sessions:
+         "handshake" (msg0 -> msg2 sent), "appraisal" (msg2 -> blob),
+         "total" — simulated ns *)
 }
 
 let completion_rate r =
@@ -82,8 +87,10 @@ let completion_rate r =
 
 (** Run one storm. The whole schedule is a pure function of
     [config.seed]: a failing run replays exactly from its seed. *)
-let run ?(config = default_config) () =
+let run ?(config = default_config) ?tracer () =
   let soc = Soc.manufacture ~seed:"storm-board" () in
+  (* Attach before boot so the secure-boot and CAAM spans are traced. *)
+  (match tracer with Some trace -> Soc.attach_tracer soc trace | None -> ());
   (match Soc.boot soc with Ok _ -> () | Error _ -> failwith "storm: boot failed");
   let os = Soc.optee soc in
   let service = Watz_attest.Service.install os in
@@ -97,7 +104,12 @@ let run ?(config = default_config) () =
   let port = 7100 in
   let server = Verifier_app.start soc ~port ~policy in
   let issue ~anchor =
-    Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence service ~anchor ~claim)
+    (* Evidence signing happens in the secure world's attestation
+       service (⑥); the storm bypasses the kernel-call plumbing, so
+       trace the seam here. *)
+    Watz_obs.Trace.span (Soc.tracer soc) Watz_obs.Trace.Secure
+      ~session:Watz_obs.Trace.no_session "crypto.ecdsa_sign" (fun () ->
+        Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence service ~anchor ~claim))
   in
   let crypto_rng = Watz_util.Prng.create (Int64.logxor config.seed 0x5e55104aL) in
   let random n = Watz_util.Prng.bytes crypto_rng n in
@@ -108,7 +120,7 @@ let run ?(config = default_config) () =
     for _ = 1 to n do
       incr launched;
       let a =
-        Attester_app.start ~retry:config.retry soc ~port ~random
+        Attester_app.start ~retry:config.retry ~sid:!launched soc ~port ~random
           ~expected_verifier:policy.P.Verifier.identity_pub ~issue
       in
       attesters := a :: !attesters
@@ -161,6 +173,30 @@ let run ?(config = default_config) () =
         | _ -> None)
       outcomes
   in
+  let phases =
+    let handshake = Histogram.create ()
+    and appraisal = Histogram.create ()
+    and total = Histogram.create () in
+    List.iter
+      (fun (a, o) ->
+        match o with
+        | Attester_app.Done _ ->
+          let s = Attester_app.started_ns a
+          and m = Attester_app.msg2_sent_ns a
+          and f = Attester_app.finished_ns a in
+          Histogram.record handshake (Int64.to_int (Int64.sub m s));
+          Histogram.record appraisal (Int64.to_int (Int64.sub f m));
+          Histogram.record total (Int64.to_int (Int64.sub f s))
+        | _ -> ())
+      outcomes;
+    if Histogram.count total = 0 then []
+    else
+      [
+        ("handshake", Histogram.summarize handshake);
+        ("appraisal", Histogram.summarize appraisal);
+        ("total", Histogram.summarize total);
+      ]
+  in
   {
     sessions = config.sessions;
     completed;
@@ -171,6 +207,7 @@ let run ?(config = default_config) () =
     server = Verifier_app.counters server;
     aborts;
     latency = (match latencies with [] -> None | l -> Some (Stats.summarize (Array.of_list l)));
+    phases;
   }
 
 let pp_report ppf r =
@@ -183,6 +220,11 @@ let pp_report ppf r =
   | Some s ->
     Format.fprintf ppf "@\n  latency: median %a | p95 %a | p99 %a | max %a" Stats.pp_ns
       s.Stats.median Stats.pp_ns s.Stats.p95 Stats.pp_ns s.Stats.p99 Stats.pp_ns s.Stats.max);
+  List.iter
+    (fun (name, (h : Histogram.summary)) ->
+      Format.fprintf ppf "@\n  phase %-9s p50 %a | p95 %a | p99 %a" name Stats.pp_ns
+        h.Histogram.p50 Stats.pp_ns h.Histogram.p95 Stats.pp_ns h.Histogram.p99)
+    r.phases;
   let pairs label = function
     | [] -> ()
     | l ->

@@ -16,12 +16,13 @@
     retransmitted messages (answered idempotently from the protocol
     caches), are aborted on the first typed protocol error, and are
     evicted once stalled longer than [session_timeout_ns] on the
-    simulated clock. Counters record everything the storm bench
+    simulated clock. A metrics registry records everything the storm bench
     reports: sessions started / completed / aborted / evicted,
     retransmits answered, and transport faults observed. *)
 
 module P = Watz_attest.Protocol
-module Counters = Watz_util.Stats.Counters
+module T = Watz_obs.Trace
+module Metrics = Watz_obs.Metrics
 
 type conn_state = {
   id : int;
@@ -40,7 +41,7 @@ type t = {
   sessions : (int, conn_state) Hashtbl.t;
   mutable next_id : int;
   session_timeout_ns : int64;
-  counters : Counters.t;
+  metrics : Metrics.t; (* server-side counters, dumped by the storm report *)
   mutable served : int; (* completed attestations *)
   mutable rejected : int;
   mutable last_err : P.error option;
@@ -66,26 +67,33 @@ let start ?(session_timeout_ns = 2_000_000_000L) soc ~port ~policy =
     sessions = Hashtbl.create 32;
     next_id = 0;
     session_timeout_ns;
-    counters = Counters.create ();
+    metrics = Metrics.create ();
     served = 0;
     rejected = 0;
     last_err = None;
   }
 
 let random t n = Watz_util.Prng.bytes t.rng n
-let counters t = Counters.to_list t.counters
+
+(** Counter values, sorted by name (the storm report's "server" rows). *)
+let counters t = Metrics.counter_list t.metrics
+
+(** The server's metrics registry, for exporters that want more than
+    the counter list. *)
+let metrics t = t.metrics
 let live_sessions t = Hashtbl.length t.sessions
 
 let abort t state err =
   state.failed <- Some err;
   t.rejected <- t.rejected + 1;
   t.last_err <- Some err;
-  Counters.incr t.counters "sessions_aborted";
+  Metrics.incr t.metrics "sessions_aborted";
+  T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id "verifier.abort";
   Watz_tz.Net.close state.conn;
   Hashtbl.remove t.sessions state.id
 
 let drop_session t state reason =
-  Counters.incr t.counters reason;
+  Metrics.incr t.metrics reason;
   Watz_tz.Net.close state.conn;
   Hashtbl.remove t.sessions state.id
 
@@ -104,7 +112,10 @@ let handle_frame t state frame =
   | None -> (
     (* First message on this connection: msg0, handled in the TEE. *)
     match
-      Watz_tz.Soc.smc t.soc (fun () -> P.Verifier.handle_msg0 t.policy ~random:(random t) frame)
+      Watz_tz.Soc.smc t.soc (fun () ->
+          P.Verifier.handle_msg0
+            ~trace:(Watz_tz.Soc.tracer t.soc)
+            ~sid:state.id t.policy ~random:(random t) frame)
     with
     | Ok (vsession, m1) ->
       state.vsession <- Some vsession;
@@ -113,7 +124,9 @@ let handle_frame t state frame =
   | Some vsession ->
     if P.Verifier.is_msg0_retransmit vsession frame then begin
       (* The attester never saw msg1: answer from the session cache. *)
-      Counters.incr t.counters "retransmits_answered";
+      Metrics.incr t.metrics "retransmits_answered";
+      T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+        "verifier.retransmit_answered";
       ignore (reply t state (P.Verifier.msg1_reply vsession))
     end
     else begin
@@ -123,11 +136,16 @@ let handle_frame t state frame =
             P.Verifier.handle_msg2 vsession ~random:(random t) frame)
       with
       | Ok m3 ->
-        if already then Counters.incr t.counters "retransmits_answered"
+        if already then begin
+          Metrics.incr t.metrics "retransmits_answered";
+          T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+            "verifier.retransmit_answered"
+        end
         else begin
           state.completed <- true;
           t.served <- t.served + 1;
-          Counters.incr t.counters "sessions_completed"
+          Metrics.incr t.metrics "sessions_completed";
+          T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id "verifier.accept"
         end;
         ignore (reply t state m3)
       | Error e -> abort t state e
@@ -143,7 +161,7 @@ let step t =
     | Some conn ->
       let id = t.next_id in
       t.next_id <- id + 1;
-      Counters.incr t.counters "sessions_started";
+      Metrics.incr t.metrics "sessions_started";
       Hashtbl.replace t.sessions id
         {
           id;
@@ -170,7 +188,7 @@ let step t =
           if Int64.sub now state.last_activity_ns > t.session_timeout_ns then
             if state.completed then drop_session t state "sessions_closed"
             else begin
-              Counters.incr t.counters "sessions_evicted";
+              Metrics.incr t.metrics "sessions_evicted";
               abort t state (P.Timed_out "verifier: session stalled")
             end
         | Watz_tz.Net.Closed_by_peer ->
@@ -178,7 +196,7 @@ let step t =
           if state.completed then drop_session t state "sessions_closed"
           else abort t state (P.Connection_lost "verifier: peer closed mid-protocol")
         | Watz_tz.Net.Frame_violation e ->
-          Counters.incr t.counters "frame_violations";
+          Metrics.incr t.metrics "frame_violations";
           abort t state
             (P.Malformed (Format.asprintf "frame: %a" Watz_tz.Net.pp_frame_error e))
       in

@@ -1,0 +1,206 @@
+(* Counters, gauges, and log-bucketed histograms. See metrics.mli. *)
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let get t = t.n
+  let reset t = t.n <- 0
+end
+
+module Gauge = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let set t v = t.v <- v
+  let add t k = t.v <- t.v + k
+  let get t = t.v
+  let reset t = t.v <- 0
+end
+
+module Histogram = struct
+  (* Bucketing: values 0..3 get their own unit buckets; from 4 up,
+     each power-of-two octave splits into 4 linear sub-buckets, so
+     bucket [4*(msb-1) + sub] covers width [2^(msb-2)] starting at
+     [2^msb + sub*2^(msb-2)]. 62 octaves cover the full positive int
+     range. *)
+
+  let n_buckets = 4 * 62
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable vmin : int;
+    mutable vmax : int;
+  }
+
+  let create () = { buckets = Array.make n_buckets 0; count = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+  let bucket_index v =
+    if v < 4 then v
+    else begin
+      let msb = ref 2 and x = ref (v lsr 3) in
+      while !x > 0 do
+        incr msb;
+        x := !x lsr 1
+      done;
+      (4 * (!msb - 1)) + ((v lsr (!msb - 2)) land 3)
+    end
+
+  let bucket_lo i =
+    if i < 4 then i
+    else begin
+      let octave = i / 4 and sub = i land 3 in
+      (1 lsl (octave + 1)) + (sub lsl (octave - 1))
+    end
+
+  let bucket_width i = if i < 4 then 1 else 1 lsl ((i / 4) - 1)
+
+  let record t v =
+    let v = if v < 0 then 0 else v in
+    let i = bucket_index v in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_value t = if t.count = 0 then 0 else t.vmin
+  let max_value t = t.vmax
+
+  let quantile t q =
+    if t.count = 0 then 0.0
+    else begin
+      let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+      let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+      let rank = if rank < 1 then 1 else rank in
+      let cum = ref 0 and i = ref 0 and landed = ref (-1) in
+      while !landed < 0 && !i < n_buckets do
+        cum := !cum + t.buckets.(!i);
+        if !cum >= rank then landed := !i;
+        incr i
+      done;
+      let b = if !landed < 0 then n_buckets - 1 else !landed in
+      let below = !cum - t.buckets.(b) in
+      let frac = float_of_int (rank - below) /. float_of_int t.buckets.(b) in
+      let v = float_of_int (bucket_lo b) +. (frac *. float_of_int (bucket_width b)) in
+      let v = if v < float_of_int t.vmin then float_of_int t.vmin else v in
+      if v > float_of_int t.vmax then float_of_int t.vmax else v
+    end
+
+  let merge a b =
+    let t = create () in
+    for i = 0 to n_buckets - 1 do
+      t.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+    done;
+    t.count <- a.count + b.count;
+    t.sum <- a.sum + b.sum;
+    t.vmin <- min a.vmin b.vmin;
+    t.vmax <- max a.vmax b.vmax;
+    t
+
+  let equal a b =
+    a.count = b.count && a.sum = b.sum
+    && (a.count = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+    && a.buckets = b.buckets
+
+  let reset t =
+    Array.fill t.buckets 0 n_buckets 0;
+    t.count <- 0;
+    t.sum <- 0;
+    t.vmin <- max_int;
+    t.vmax <- 0
+
+  type summary = {
+    count : int;
+    sum : int;
+    mean : float;
+    min : int;
+    max : int;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  let summarize (t : t) =
+    {
+      count = t.count;
+      sum = t.sum;
+      mean = (if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count);
+      min = min_value t;
+      max = t.vmax;
+      p50 = quantile t 0.5;
+      p95 = quantile t 0.95;
+      p99 = quantile t 0.99;
+    }
+end
+
+type cell = C of Counter.t | G of Gauge.t | H of Histogram.t
+type metric = Counter of int | Gauge of int | Histogram of Histogram.summary
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let cell t name ~want ~make =
+  match Hashtbl.find_opt t name with
+  | Some c ->
+    if kind_name c <> want then
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s, requested as a %s" name (kind_name c) want);
+    c
+  | None ->
+    let c = make () in
+    Hashtbl.replace t name c;
+    c
+
+let counter t name =
+  match cell t name ~want:"counter" ~make:(fun () -> C (Counter.create ())) with
+  | C c -> c
+  | _ -> assert false
+
+let gauge t name =
+  match cell t name ~want:"gauge" ~make:(fun () -> G (Gauge.create ())) with
+  | G g -> g
+  | _ -> assert false
+
+let histogram t name =
+  match cell t name ~want:"histogram" ~make:(fun () -> H (Histogram.create ())) with
+  | H h -> h
+  | _ -> assert false
+
+let incr t name = Counter.incr (counter t name)
+let add t name k = Counter.add (counter t name) k
+let observe t name v = Histogram.record (histogram t name) v
+
+let sorted_fold t f =
+  Hashtbl.fold (fun name c acc -> match f name c with Some x -> x :: acc | None -> acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter_list t =
+  sorted_fold t (fun name -> function C c -> Some (name, Counter.get c) | _ -> None)
+
+let dump t =
+  sorted_fold t (fun name c ->
+      Some
+        ( name,
+          match c with
+          | C c -> Counter (Counter.get c)
+          | G g -> Gauge (Gauge.get g)
+          | H h -> Histogram (Histogram.summarize h) ))
+
+let histograms t = sorted_fold t (fun name -> function H h -> Some (name, h) | _ -> None)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ -> function
+      | C c -> Counter.reset c
+      | G g -> Gauge.reset g
+      | H h -> Histogram.reset h)
+    t

@@ -1,0 +1,102 @@
+(** Metrics registry: counters, gauges, and log-bucketed histograms.
+
+    The registry replaces the ad-hoc per-module counter tables that
+    used to live in the network, verifier and storm layers with one
+    named facility that also understands distributions. Histograms are
+    HdrHistogram-style — one octave per power of two, four linear
+    sub-buckets per octave (≤ 12.5 % relative quantile error) — so
+    recording is two array writes and quantiles never need the raw
+    samples. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> int -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  (** Record one non-negative value (negatives clamp to 0). *)
+  val record : t -> int -> unit
+
+  val count : t -> int
+  val sum : t -> int
+
+  (** [quantile t q] for [q] in [0,1]; linear interpolation within the
+      landing bucket, clamped to the recorded min/max so quantiles are
+      monotone in [q] and never leave the observed range. 0 when
+      empty. *)
+  val quantile : t -> float -> float
+
+  val min_value : t -> int
+  val max_value : t -> int
+
+  (** Elementwise-sum merge into a fresh histogram: associative,
+      commutative, and count-conserving. *)
+  val merge : t -> t -> t
+
+  val equal : t -> t -> bool
+  val reset : t -> unit
+
+  type summary = {
+    count : int;
+    sum : int;
+    mean : float;
+    min : int;
+    max : int;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  val summarize : t -> summary
+end
+
+type t
+
+(** A metric as listed by {!dump}. *)
+type metric = Counter of int | Gauge of int | Histogram of Histogram.summary
+
+val create : unit -> t
+
+(** Get-or-create accessors. Asking for an existing name as a different
+    metric kind raises [Invalid_argument]. *)
+val counter : t -> string -> Counter.t
+
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+
+(** Shorthands for one-shot call sites. *)
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+val observe : t -> string -> int -> unit
+
+(** Counter values only, sorted by name (zero-valued counters are
+    included). *)
+val counter_list : t -> (string * int) list
+
+(** Every metric, sorted by name. *)
+val dump : t -> (string * metric) list
+
+val histograms : t -> (string * Histogram.t) list
+
+(** Reset every metric in place (registrations survive). *)
+val reset : t -> unit

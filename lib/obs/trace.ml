@@ -1,0 +1,110 @@
+(* Ring-buffer tracer. See trace.mli for the contract.
+
+   Layout notes: the ring is a struct of arrays of immediates — [int]
+   timestamps (simulated ns fit a 63-bit int for ~146 years) and small
+   tags — plus a [string array] holding the names by reference. With
+   the tracer disabled every entry point is a field load and a branch;
+   nothing in that path allocates, which test_obs pins down with
+   [Gc.minor_words] deltas. *)
+
+type world = Normal | Secure | Monitor
+
+let world_name = function Normal -> "normal" | Secure -> "secure" | Monitor -> "monitor"
+
+type kind = Begin | End | Instant
+
+type event = { ts_ns : int; kind : kind; world : world; session : int; name : string }
+
+type t = {
+  mutable now : unit -> int64;
+  mutable on : bool;
+  cap : int;
+  ts : int array;
+  kindv : int array;
+  worldv : int array;
+  sess : int array;
+  names : string array;
+  mutable total : int; (* events ever recorded; write cursor = total mod cap *)
+}
+
+let no_session = -1
+
+let null =
+  {
+    now = (fun () -> 0L);
+    on = false;
+    cap = 0;
+    ts = [||];
+    kindv = [||];
+    worldv = [||];
+    sess = [||];
+    names = [||];
+    total = 0;
+  }
+
+let create ?(capacity = 65536) ?(now = fun () -> 0L) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    now;
+    on = true;
+    cap = capacity;
+    ts = Array.make capacity 0;
+    kindv = Array.make capacity 0;
+    worldv = Array.make capacity 0;
+    sess = Array.make capacity no_session;
+    names = Array.make capacity "";
+    total = 0;
+  }
+
+let set_now t now = t.now <- now
+let set_enabled t on = if t.cap > 0 then t.on <- on
+let enabled t = t.on
+
+let int_of_world = function Normal -> 0 | Secure -> 1 | Monitor -> 2
+let world_of_int = function 0 -> Normal | 1 -> Secure | _ -> Monitor
+let kind_of_int = function 0 -> Begin | 1 -> End | _ -> Instant
+
+(* The single recording path. Only reached when [t.on]; [Int64.to_int]
+   on the boxed clock value does not allocate. *)
+let record t k w session name =
+  let i = t.total mod t.cap in
+  t.ts.(i) <- Int64.to_int (t.now ());
+  t.kindv.(i) <- k;
+  t.worldv.(i) <- int_of_world w;
+  t.sess.(i) <- session;
+  t.names.(i) <- name;
+  t.total <- t.total + 1
+
+let begin_ t w ~session name = if t.on then record t 0 w session name
+let end_ t w ~session name = if t.on then record t 1 w session name
+let instant t w ~session name = if t.on then record t 2 w session name
+
+let span t w ~session name f =
+  if not t.on then f ()
+  else begin
+    record t 0 w session name;
+    match f () with
+    | v ->
+      record t 1 w session name;
+      v
+    | exception e ->
+      record t 1 w session name;
+      raise e
+  end
+
+let recorded t = t.total
+let dropped t = t.total - min t.total t.cap
+let clear t = t.total <- 0
+
+let events t =
+  let n = min t.total t.cap in
+  let first = t.total - n in
+  List.init n (fun j ->
+      let i = (first + j) mod t.cap in
+      {
+        ts_ns = t.ts.(i);
+        kind = kind_of_int t.kindv.(i);
+        world = world_of_int t.worldv.(i);
+        session = t.sess.(i);
+        name = t.names.(i);
+      })

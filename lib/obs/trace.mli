@@ -1,0 +1,84 @@
+(** Ring-buffer event tracer, world-aware and simulation-deterministic.
+
+    The tracer records typed span events (begin/end/instant) into a
+    fixed-capacity ring of unboxed arrays. Timestamps come from a
+    caller-supplied [now] closure — in WaTZ that is the SMC monitor's
+    simulated clock, so a trace is a pure function of the run's seed
+    and two runs with the same seed export byte-identical traces.
+
+    Overhead contract:
+
+    - disabled ({!null}, or after {!set_enabled}[ t false]): every
+      recording entry point reduces to one mutable-field load and a
+      branch — no allocation, no clock read, no string work. Session
+      ids are plain labelled [int]s (never [int option]) so call sites
+      do not box a [Some];
+    - enabled: memory is bounded by the ring capacity; when the ring is
+      full the oldest events are overwritten ({!dropped} counts them).
+      Recording never raises and never blocks the instrumented code. *)
+
+(** Which side of the TrustZone boundary emitted the event. [Monitor]
+    tags the secure monitor itself (world-switch spans). *)
+type world = Normal | Secure | Monitor
+
+val world_name : world -> string
+
+type kind = Begin | End | Instant
+
+type event = {
+  ts_ns : int; (* simulated clock, nanoseconds *)
+  kind : kind;
+  world : world;
+  session : int; (* [no_session] when the event is not session-scoped *)
+  name : string;
+}
+
+type t
+
+(** Session id for events that belong to no particular session. *)
+val no_session : int
+
+(** The permanently disabled tracer: recording into it is a no-op and
+    allocates nothing. The default everywhere instrumentation hooks
+    accept a tracer. *)
+val null : t
+
+(** [create ?capacity ?now ()] makes an enabled tracer holding the last
+    [capacity] events (default 65536). [now] supplies timestamps;
+    attach the simulated clock before recording anything that should
+    be deterministic. *)
+val create : ?capacity:int -> ?now:(unit -> int64) -> unit -> t
+
+(** Re-point the tracer's clock (used when attaching it to a SoC). *)
+val set_now : t -> (unit -> int64) -> unit
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+(** [begin_ t world ~session name] opens a span. [name] should be a
+    static string: the ring stores it by reference. *)
+val begin_ : t -> world -> session:int -> string -> unit
+
+(** [end_ t world ~session name] closes the most recent open span with
+    the same (name, session); pairing is by name, as in Chrome's
+    [trace_event] B/E model. *)
+val end_ : t -> world -> session:int -> string -> unit
+
+(** A point event (retransmits, cache hits, aborts). *)
+val instant : t -> world -> session:int -> string -> unit
+
+(** [span t world ~session name f] wraps [f] in a begin/end pair,
+    closing the span even when [f] raises. When the tracer is disabled
+    this is exactly [f ()]. *)
+val span : t -> world -> session:int -> string -> (unit -> 'a) -> 'a
+
+(** Events currently held in the ring, oldest first. *)
+val events : t -> event list
+
+(** Total events recorded since creation (including overwritten). *)
+val recorded : t -> int
+
+(** Events lost to ring overwrite. *)
+val dropped : t -> int
+
+val clear : t -> unit

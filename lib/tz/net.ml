@@ -20,8 +20,6 @@
     one {!Watz_util.Prng} seeded through {!configure}, so any failing
     schedule replays from its seed. *)
 
-module Counters = Watz_util.Stats.Counters
-
 type stream = { buf : Buffer.t; mutable read_pos : int }
 
 (* One in-flight link-level segment. [delay] is the remaining number of
@@ -91,7 +89,7 @@ and t = {
   mutable prng : Watz_util.Prng.t;
   mutable default_profile : fault_profile;
   mutable pipes : pipe list;
-  faults : Counters.t;
+  faults : Watz_obs.Metrics.t; (* injected-fault counters, per fault family *)
 }
 
 let create () =
@@ -100,7 +98,7 @@ let create () =
     prng = Watz_util.Prng.create 0x0eedfa017L;
     default_profile = perfect;
     pipes = [];
-    faults = Counters.create ();
+    faults = Watz_obs.Metrics.create ();
   }
 
 (** [configure t ~seed ~profile] reseeds the fault PRNG and sets the
@@ -110,8 +108,17 @@ let configure t ~seed ~profile =
   t.default_profile <- profile
 
 let set_profile conn profile = conn.profile <- profile
-let fault_counts t = Counters.to_list t.faults
-let reset_fault_counts t = Counters.reset t.faults
+
+(** The fault metrics registry (counters per fault family, named as in
+    {!fault_counts}); share it with a wider registry dump if needed. *)
+let fault_metrics t = t.faults
+
+(* Only families that actually fired are reported, matching the old
+   ad-hoc counter table. *)
+let fault_counts t =
+  List.filter (fun (_, v) -> v > 0) (Watz_obs.Metrics.counter_list t.faults)
+
+let reset_fault_counts t = Watz_obs.Metrics.reset t.faults
 
 exception Refused of int
 exception Peer_closed
@@ -211,7 +218,7 @@ let send conn data =
   let t = conn.net in
   let p = conn.profile in
   let rng = t.prng in
-  let fault name = Counters.incr t.faults name in
+  let fault name = Watz_obs.Metrics.incr t.faults name in
   (* The MITM sits on the wire: it sees (and may rewrite) everything,
      before the lossy link does its own damage. *)
   let data =

@@ -159,8 +159,13 @@ let shm_free t shm =
 
 (** Copy into the secure world; charged at the modelled bandwidth. *)
 let shm_read_secure t shm ~off ~len =
+  let module T = Watz_obs.Trace in
+  let trace = Simclock.tracer t.clock in
+  T.begin_ trace T.Secure ~session:T.no_session "shm.copy_in";
   Simclock.charge_copy t.clock t.costs len;
-  Bytes.sub_string shm.shm_data off len
+  let data = Bytes.sub_string shm.shm_data off len in
+  T.end_ trace T.Secure ~session:T.no_session "shm.copy_in";
+  data
 
 let shm_write_normal _t shm ~off data =
   Bytes.blit_string data 0 shm.shm_data off (String.length data)
@@ -182,22 +187,31 @@ let ree_time_ns t =
 (* ------------------------------------------------------------------ *)
 (* Sockets via the supplicant *)
 
+(* The supplicant relays on behalf of the secure world but runs in the
+   normal world: its spans carry the normal-world tag. *)
+let supplicant_span t name f =
+  Watz_obs.Trace.span (Simclock.tracer t.clock) Watz_obs.Trace.Normal
+    ~session:Watz_obs.Trace.no_session name f
+
 let socket_connect t ~port =
-  Simclock.advance t.clock t.costs.supplicant_rpc_ns;
-  Net.connect t.net ~port
+  supplicant_span t "supplicant.connect" (fun () ->
+      Simclock.advance t.clock t.costs.supplicant_rpc_ns;
+      Net.connect t.net ~port)
 
 let socket_send t conn data =
-  Simclock.advance t.clock t.costs.supplicant_rpc_ns;
-  Simclock.charge_copy t.clock t.costs (String.length data);
-  Net.send_frame conn data
+  supplicant_span t "supplicant.send" (fun () ->
+      Simclock.advance t.clock t.costs.supplicant_rpc_ns;
+      Simclock.charge_copy t.clock t.costs (String.length data);
+      Net.send_frame conn data)
 
 let socket_recv t conn =
-  Simclock.advance t.clock t.costs.supplicant_rpc_ns;
-  match Net.recv_frame conn with
-  | None -> None
-  | Some data ->
-    Simclock.charge_copy t.clock t.costs (String.length data);
-    Some data
+  supplicant_span t "supplicant.recv" (fun () ->
+      Simclock.advance t.clock t.costs.supplicant_rpc_ns;
+      match Net.recv_frame conn with
+      | None -> None
+      | Some data ->
+        Simclock.charge_copy t.clock t.costs (String.length data);
+        Some data)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel modules *)
@@ -206,7 +220,10 @@ module Kernel = struct
   (** Facilities reserved for kernel modules (the attestation service):
       TAs never see the MKVB or its subkeys. *)
 
-  let derive_subkey t ~label = Caam.huk_subkey_derive ~mkvb:t.mkvb ~label
+  let derive_subkey t ~label =
+    Watz_obs.Trace.span (Simclock.tracer t.clock) Watz_obs.Trace.Secure
+      ~session:Watz_obs.Trace.no_session "caam.subkey_derive" (fun () ->
+        Caam.huk_subkey_derive ~mkvb:t.mkvb ~label)
   let boot_measurement t = t.boot_measurement
   let version t = t.version
 
@@ -219,7 +236,9 @@ end
 (** TA-side entry point to kernel services (system call). *)
 let kernel_call t ~service request =
   match List.assoc_opt service t.kernel_services with
-  | Some f -> f request
+  | Some f ->
+    Watz_obs.Trace.span (Simclock.tracer t.clock) Watz_obs.Trace.Secure
+      ~session:Watz_obs.Trace.no_session "optee.kernel_call" (fun () -> f request)
   | None -> raise (Access_denied ("no kernel service " ^ service))
 
 (* ------------------------------------------------------------------ *)

@@ -6,11 +6,25 @@
     they are modelled: every world switch, supplicant RPC and
     shared-memory copy advances this deterministic counter. *)
 
-type t = { mutable now_ns : int64 }
+type t = {
+  mutable now_ns : int64;
+  mutable trace : Watz_obs.Trace.t; (* observability sink; {!Watz_obs.Trace.null} when off *)
+}
 
-let create () = { now_ns = 0L }
+let create () = { now_ns = 0L; trace = Watz_obs.Trace.null }
 let now_ns t = t.now_ns
 let advance t ns = t.now_ns <- Int64.add t.now_ns (Int64.of_int ns)
+
+(** The tracer riding on this clock. Everything that already threads
+    the clock (the SoC, the trusted OS, the runtime) reaches the
+    tracer through it; the default is the disabled {!Watz_obs.Trace.null}. *)
+let tracer t = t.trace
+
+(** [attach_tracer t trace] points [trace]'s timestamps at this clock
+    and starts delivering instrumentation events to it. *)
+let attach_tracer t trace =
+  Watz_obs.Trace.set_now trace (fun () -> t.now_ns);
+  t.trace <- trace
 
 (** Costs in nanoseconds, defaults calibrated to the paper's NXP
     i.MX 8MQ measurements (§VI-A). *)

@@ -45,12 +45,18 @@ let watz_version = "watz-1.0/optee-3.13"
     trusted OS is running; on failure the secure world stays down (and
     with it, everything keyed off the root of trust). *)
 let boot ?(version = watz_version) ?chain t =
+  let module T = Watz_obs.Trace in
+  let trace = Simclock.tracer t.clock in
   let chain = match chain with Some c -> c | None -> Boot.standard_chain t.vendor in
-  match Boot.verify ~fuses:t.fuses ~vendor_pub:t.vendor.Boot.vk_pub chain with
+  T.begin_ trace T.Monitor ~session:T.no_session "boot.verify_chain";
+  let verified = Boot.verify ~fuses:t.fuses ~vendor_pub:t.vendor.Boot.vk_pub chain in
+  T.end_ trace T.Monitor ~session:T.no_session "boot.verify_chain";
+  match verified with
   | Error e ->
     t.state <- Boot_failed e;
     Error e
   | Ok measurement ->
+    T.instant trace T.Secure ~session:T.no_session "caam.mkvb";
     let mkvb = Caam.mkvb t.fuses Caam.Secure_world in
     let os =
       Optee.create ~clock:t.clock ~costs:t.costs ~mkvb ~boot_measurement:measurement
@@ -74,17 +80,40 @@ let mkvb_as_seen_from_normal_world t = Caam.mkvb t.fuses Caam.Normal_world
 (* Secure monitor: world transitions *)
 
 (** [smc t f] runs [f] in the secure world, charging the enter/return
-    transition costs on the simulated clock (Fig. 3b). *)
+    transition costs on the simulated clock (Fig. 3b). The transition
+    is traced as a monitor-world "smc" span enclosing a secure-world
+    "smc.secure" span, so trace viewers show the switch overhead as
+    the gap between the two. On an escaping exception the spans close
+    but — as before — the return cost is not charged. *)
 let smc t f =
+  let module T = Watz_obs.Trace in
+  let trace = Simclock.tracer t.clock in
+  T.begin_ trace T.Monitor ~session:T.no_session "smc";
   Simclock.advance t.clock t.costs.smc_enter_ns;
-  let result = f () in
-  Simclock.advance t.clock t.costs.smc_return_ns;
-  result
+  T.begin_ trace T.Secure ~session:T.no_session "smc.secure";
+  match f () with
+  | result ->
+    T.end_ trace T.Secure ~session:T.no_session "smc.secure";
+    Simclock.advance t.clock t.costs.smc_return_ns;
+    T.end_ trace T.Monitor ~session:T.no_session "smc";
+    result
+  | exception e ->
+    T.end_ trace T.Secure ~session:T.no_session "smc.secure";
+    T.end_ trace T.Monitor ~session:T.no_session "smc";
+    raise e
 
 (** Sign a trusted application with this device's vendor key (the
     OP-TEE deployment step WaTZ's Wasm hosting makes unnecessary for
     third-party code). *)
 let sign_ta t ta = Optee.sign_ta t.vendor ta
+
+(** Attach an observability tracer to this board: its timestamps come
+    from the simulated clock, so traces are deterministic in the run's
+    seed. Every layer holding the clock (OP-TEE, the runtime, the
+    protocol drivers) starts emitting into it. *)
+let attach_tracer t trace = Simclock.attach_tracer t.clock trace
+
+let tracer t = Simclock.tracer t.clock
 
 (** Normal-world monotonic clock read (sub-microsecond, Fig. 3a). *)
 let normal_world_clock_ns t =

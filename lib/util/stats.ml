@@ -71,27 +71,3 @@ let measure ?(runs = 10) ?(warmup = 0) f =
         ns)
   in
   summarize samples
-
-(* Named event counters: the attestation server, the fault-injecting
-   network and the storm driver all report through these. *)
-module Counters = struct
-  type t = (string, int ref) Hashtbl.t
-
-  let create () = Hashtbl.create 16
-
-  let incr ?(by = 1) t name =
-    match Hashtbl.find_opt t name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace t name (ref by)
-
-  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-
-  let to_list t =
-    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-  let reset t = Hashtbl.reset t
-
-  let pp ppf t =
-    List.iter (fun (name, v) -> Format.fprintf ppf "%s=%d@ " name v) (to_list t)
-end

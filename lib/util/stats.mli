@@ -34,20 +34,3 @@ val measure : ?runs:int -> ?warmup:int -> (unit -> unit) -> summary
     absorb first-run compilation and cache effects), then times [runs]
     executions and summarizes the per-run durations in nanoseconds.
     Defaults: 10 runs, no warmup. *)
-
-(** Named event counters (sessions started/completed/aborted, retries,
-    injected faults, ...) for servers and benchmark drivers. *)
-module Counters : sig
-  type t
-
-  val create : unit -> t
-  val incr : ?by:int -> t -> string -> unit
-  val get : t -> string -> int
-  (** 0 for a counter never incremented. *)
-
-  val to_list : t -> (string * int) list
-  (** Sorted by counter name. *)
-
-  val reset : t -> unit
-  val pp : Format.formatter -> t -> unit
-end

@@ -145,7 +145,13 @@ let net_handshake env args =
     match Watz_tz.Optee.socket_connect env.os ~port with
     | exception Watz_tz.Net.Refused _ -> errno errno_conn
     | conn -> (
-      let attester = Watz_attest.Protocol.Attester.create ~random:env.random ~expected_verifier in
+      let attester =
+        (* Trace the WASI-RA handshake under the board's tracer, using
+           the fresh handle number as the session correlation id. *)
+        Watz_attest.Protocol.Attester.create
+          ~trace:(Watz_tz.Simclock.tracer env.os.Watz_tz.Optee.clock)
+          ~sid:env.next_handle ~random:env.random ~expected_verifier ()
+      in
       let m0 = Watz_attest.Protocol.Attester.msg0 attester in
       match Watz_tz.Optee.socket_send env.os conn m0 with
       | exception Watz_tz.Net.Peer_closed -> errno errno_conn

@@ -38,7 +38,7 @@ let issue service ~anchor = Evidence.encode (Service.issue_evidence service ~anc
 
 (* Drive an honest attester up to (and including) msg2. *)
 let honest_msg2 service policy =
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let m0 = P.Attester.msg0 attester in
   let vsession, m1 = Result.get_ok (P.Verifier.handle_msg0 policy ~random m0) in
   let anchor = Result.get_ok (P.Attester.handle_msg1 attester m1) in
@@ -58,7 +58,7 @@ let test_replay_msg2_fresh_session () =
   ignore (Result.get_ok (P.Verifier.handle_msg2 vsession1 ~random m2));
   (* The adversary opens a fresh session with its own key share and
      replays the captured msg2. *)
-  let adversary = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let adversary = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let vsession2, _m1 =
     Result.get_ok (P.Verifier.handle_msg0 policy ~random (P.Attester.msg0 adversary))
   in
@@ -71,7 +71,7 @@ let test_replay_msg2_fresh_session () =
    agree, so the session MAC fails before any identity is trusted. *)
 let test_swapped_gv_v_in_msg1 () =
   let _service, policy = setup () in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let m0 = P.Attester.msg0 attester in
   let _vsession, m1 = Result.get_ok (P.Verifier.handle_msg0 policy ~random m0) in
   let gv = String.sub m1 0 65
@@ -90,7 +90,7 @@ let test_swapped_gv_v_in_msg1 () =
 let test_evidence_from_other_device () =
   let _service, policy = setup () in
   let other = Service.create (Soc.optee (booted "other-device")) in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let vsession, m1 =
     Result.get_ok (P.Verifier.handle_msg0 policy ~random (P.Attester.msg0 attester))
   in
@@ -105,7 +105,7 @@ let test_evidence_from_other_device () =
    check must catch it. *)
 let test_tampered_claim () =
   let service, policy = setup () in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let vsession, m1 =
     Result.get_ok (P.Verifier.handle_msg0 policy ~random (P.Attester.msg0 attester))
   in
@@ -136,7 +136,7 @@ let test_version_downgrade () =
       ~accept_version:(fun v -> v = Soc.watz_version)
       ~secret_blob:"the secret" ()
   in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let vsession, m1 =
     Result.get_ok (P.Verifier.handle_msg0 policy ~random (P.Attester.msg0 attester))
   in

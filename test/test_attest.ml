@@ -85,7 +85,7 @@ let run_protocol ?(claims = [ claim_a ]) ?accept_version ?(claim = claim_a) soc 
   let policy = policy_for ~claims ?accept_version service in
   P.run_local ~random ~policy
     ~issue:(fun ~anchor -> issue_with service ~claim ~anchor)
-    ~expected_verifier:policy.P.Verifier.identity_pub
+    ~expected_verifier:policy.P.Verifier.identity_pub ()
 
 let test_protocol_happy_path () =
   let soc = booted_soc "dev-a" in
@@ -105,7 +105,7 @@ let test_protocol_sessions_fresh () =
   let run () =
     P.run_local ~random ~policy
       ~issue:(fun ~anchor -> issue_with service ~claim:claim_a ~anchor)
-      ~expected_verifier:policy.P.Verifier.identity_pub
+      ~expected_verifier:policy.P.Verifier.identity_pub ()
   in
   match (run (), run ()) with
   | Ok r1, Ok r2 ->
@@ -134,7 +134,7 @@ let test_unknown_device_rejected () =
   let result =
     P.run_local ~random ~policy
       ~issue:(fun ~anchor -> issue_with service_b ~claim:claim_a ~anchor)
-      ~expected_verifier:policy.P.Verifier.identity_pub
+      ~expected_verifier:policy.P.Verifier.identity_pub ()
   in
   ignore soc_b;
   match result with
@@ -160,7 +160,7 @@ let test_wrong_verifier_identity_rejected () =
   let result =
     P.run_local ~random ~policy
       ~issue:(fun ~anchor -> issue_with service ~claim:claim_a ~anchor)
-      ~expected_verifier:impostor
+      ~expected_verifier:impostor ()
   in
   match result with
   | Ok _ -> Alcotest.fail "impostor verifier accepted"
@@ -173,7 +173,7 @@ let flip_byte s idx = String.mapi (fun i c -> if i = idx then Char.chr (Char.cod
 let manual_run ~corrupt_msg1 ~corrupt_msg2 ~corrupt_msg3 soc =
   let service = service_for soc in
   let policy = policy_for service in
-  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub in
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
   let m0 = P.Attester.msg0 attester in
   match P.Verifier.handle_msg0 policy ~random m0 with
   | Error e -> Error e
@@ -218,7 +218,7 @@ let test_replayed_evidence_rejected () =
          let e = issue_with service ~claim:claim_a ~anchor in
          stale := Some e;
          e)
-       ~expected_verifier:policy.P.Verifier.identity_pub
+       ~expected_verifier:policy.P.Verifier.identity_pub ()
    with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "setup run failed: %a" P.pp_error e);
@@ -226,7 +226,7 @@ let test_replayed_evidence_rejected () =
   let result =
     P.run_local ~random ~policy
       ~issue:(fun ~anchor:_ -> stale_evidence)
-      ~expected_verifier:policy.P.Verifier.identity_pub
+      ~expected_verifier:policy.P.Verifier.identity_pub ()
   in
   match result with
   | Ok _ -> Alcotest.fail "replayed evidence accepted"

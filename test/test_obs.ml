@@ -1,0 +1,356 @@
+(* Observability-layer tests: the ring tracer's overhead contract, the
+   log-bucketed histogram's quantile laws (QCheck), the Chrome
+   trace_event exporter roundtrip, and the determinism guarantees —
+   a golden span sequence for a fixed-seed end-to-end attestation and
+   a trace-replay differential (same seed => byte-identical bytes). *)
+
+module T = Watz_obs.Trace
+module M = Watz_obs.Metrics
+module H = Watz_obs.Metrics.Histogram
+module Export = Watz_obs.Export
+module Storm = Watz.Storm
+
+(* The deterministic seed for the replay tests; override with
+   WATZ_TEST_SEED to shake the schedule (the golden *sequence* is
+   seed-independent under the perfect profile — only timestamps and
+   crypto bytes move, and neither enters the span ordering). *)
+let test_seed =
+  match Sys.getenv_opt "WATZ_TEST_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 0x901de2L
+
+(* ------------------------------------------------------------------ *)
+(* Tracer basics and the overhead contract *)
+
+let test_ring_bounded () =
+  let now = ref 0L in
+  let t = T.create ~capacity:8 ~now:(fun () -> !now) () in
+  for k = 1 to 100 do
+    now := Int64.of_int k;
+    T.instant t T.Normal ~session:k "tick"
+  done;
+  let ev = T.events t in
+  Alcotest.(check int) "ring holds capacity" 8 (List.length ev);
+  Alcotest.(check int) "all recorded" 100 (T.recorded t);
+  Alcotest.(check int) "overflow counted" 92 (T.dropped t);
+  (* Oldest events were overwritten: the survivors are the last 8. *)
+  Alcotest.(check (list int)) "newest survive"
+    [ 93; 94; 95; 96; 97; 98; 99; 100 ]
+    (List.map (fun (e : T.event) -> e.T.session) ev)
+
+let test_span_closes_on_exception () =
+  let t = T.create ~capacity:16 () in
+  (try T.span t T.Secure ~session:1 "boom" (fun () -> failwith "inner")
+   with Failure _ -> ());
+  match T.events t with
+  | [ b; e ] ->
+    Alcotest.(check bool) "begin then end" true
+      (b.T.kind = T.Begin && e.T.kind = T.End && e.T.name = "boom")
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+(* The contract the instrumentation relies on: recording into a
+   disabled tracer is one field load and a branch — no allocation. *)
+let alloc_free_loop tr =
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    T.begin_ tr T.Secure ~session:7 "hotpath.span";
+    T.instant tr T.Normal ~session:7 "hotpath.mark";
+    T.end_ tr T.Secure ~session:7 "hotpath.span"
+  done;
+  int_of_float (Gc.minor_words () -. w0)
+
+let test_zero_alloc_disabled () =
+  Alcotest.(check int) "null tracer allocates nothing" 0 (alloc_free_loop T.null);
+  let t = T.create ~capacity:16 () in
+  T.set_enabled t false;
+  Alcotest.(check int) "disabled tracer allocates nothing" 0 (alloc_free_loop t)
+
+(* Enabled recording allocates nothing either (the ring is
+   preallocated): the cost is bounded by capacity, not by event count. *)
+let test_zero_alloc_enabled () =
+  let now = ref 0L in
+  let t = T.create ~capacity:64 ~now:(fun () -> !now) () in
+  Alcotest.(check int) "enabled recording allocates nothing" 0 (alloc_free_loop t);
+  Alcotest.(check int) "ring stayed bounded" 64 (List.length (T.events t))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram: pinned sanity + QCheck laws *)
+
+let test_histogram_sanity () =
+  let h = H.create () in
+  for v = 1 to 1000 do
+    H.record h v
+  done;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  Alcotest.(check int) "sum" 500500 (H.sum h);
+  Alcotest.(check int) "min" 1 (H.min_value h);
+  Alcotest.(check int) "max" 1000 (H.max_value h);
+  (* Log-bucketed: <= 12.5 % relative error per quantile. *)
+  let close q expect =
+    let got = H.quantile h q in
+    let err = abs_float (got -. expect) /. expect in
+    if err > 0.125 then Alcotest.failf "q%.2f: got %.1f, want ~%.1f" q got expect
+  in
+  close 0.5 500.0;
+  close 0.95 950.0;
+  close 0.99 990.0
+
+let of_list vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let arbitrary_values = QCheck.(list_of_size (Gen.int_range 0 200) (int_bound 2_000_000))
+
+let qcheck_quantile_monotone =
+  QCheck.Test.make ~name:"histogram: p50 <= p95 <= p99 <= max" ~count:300 arbitrary_values
+    (fun vs ->
+      let h = of_list vs in
+      let p50 = H.quantile h 0.5 and p95 = H.quantile h 0.95 and p99 = H.quantile h 0.99 in
+      p50 <= p95 && p95 <= p99 && p99 <= float_of_int (H.max_value h))
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~name:"histogram: merge associative + commutative" ~count:200
+    (QCheck.triple arbitrary_values arbitrary_values arbitrary_values)
+    (fun (a, b, c) ->
+      let ha = of_list a and hb = of_list b and hc = of_list c in
+      H.equal (H.merge (H.merge ha hb) hc) (H.merge ha (H.merge hb hc))
+      && H.equal (H.merge ha hb) (H.merge hb ha))
+
+let qcheck_count_conserved =
+  QCheck.Test.make ~name:"histogram: merge conserves count and sum" ~count:200
+    (QCheck.pair arbitrary_values arbitrary_values)
+    (fun (a, b) ->
+      let ha = of_list a and hb = of_list b in
+      let m = H.merge ha hb in
+      H.count m = H.count ha + H.count hb && H.sum m = H.sum ha + H.sum hb)
+
+(* Splitting a stream arbitrarily and merging the parts is the same
+   histogram as recording the stream in one piece. *)
+let qcheck_split_merge =
+  QCheck.Test.make ~name:"histogram: split-anywhere = whole" ~count:200
+    (QCheck.pair arbitrary_values QCheck.small_nat)
+    (fun (vs, k) ->
+      let n = List.length vs in
+      let cut = if n = 0 then 0 else k mod (n + 1) in
+      let left = List.filteri (fun i _ -> i < cut) vs
+      and right = List.filteri (fun i _ -> i >= cut) vs in
+      H.equal (of_list vs) (H.merge (of_list left) (of_list right)))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_registry () =
+  let r = M.create () in
+  M.incr r "a";
+  M.incr r "a";
+  M.add r "b" 5;
+  M.observe r "lat" 100;
+  M.observe r "lat" 200;
+  Alcotest.(check (list (pair string int))) "counters sorted"
+    [ ("a", 2); ("b", 5) ]
+    (M.counter_list r);
+  Alcotest.(check int) "histogram count" 2 (H.count (M.histogram r "lat"));
+  (* A name registers with one kind; reusing it as another is a bug. *)
+  (match M.counter r "lat" with
+  | _ -> Alcotest.fail "kind confusion allowed"
+  | exception Invalid_argument _ -> ());
+  M.reset r;
+  Alcotest.(check (list (pair string int))) "reset keeps names, zeroes values"
+    [ ("a", 0); ("b", 0) ]
+    (M.counter_list r)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome exporter: parseable by our own reader, events preserved *)
+
+let describe (e : T.event) =
+  Printf.sprintf "%s %s %d %s %d"
+    (match e.T.kind with T.Begin -> "B" | T.End -> "E" | T.Instant -> "i")
+    (T.world_name e.T.world) e.T.session e.T.name e.T.ts_ns
+
+let test_export_roundtrip () =
+  let now = ref 0L in
+  let t = T.create ~capacity:64 ~now:(fun () -> !now) () in
+  now := 1_500L;
+  T.begin_ t T.Monitor ~session:T.no_session "smc";
+  now := 2_750L;
+  T.begin_ t T.Secure ~session:3 "ra.msg1_handle";
+  now := 9_001L;
+  T.instant t T.Normal ~session:3 "attest.retransmit";
+  now := 12_345_678L;
+  T.end_ t T.Secure ~session:3 "ra.msg1_handle";
+  T.end_ t T.Monitor ~session:T.no_session "smc";
+  let parsed = Export.parse_chrome (Export.trace_to_chrome t) in
+  Alcotest.(check (list string)) "roundtrip preserves every field"
+    (List.map describe (T.events t))
+    (List.map describe parsed)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: golden span sequence + replay differential *)
+
+let run_single_storm seed =
+  let tracer = T.create () in
+  let config =
+    { Storm.default_config with Storm.sessions = 1; seed; profile = Watz_tz.Net.perfect }
+  in
+  let r = Storm.run ~config ~tracer () in
+  Alcotest.(check int) "session completed" 1 r.Storm.completed;
+  (r, tracer)
+
+let brief (e : T.event) =
+  Printf.sprintf "%s %s %s"
+    (match e.T.kind with T.Begin -> "B" | T.End -> "E" | T.Instant -> "i")
+    (T.world_name e.T.world) e.T.name
+
+(* The exact event order of one clean attestation on the simulated
+   board: boot (chain verify, CAAM), protocol msg0-msg3 with their
+   crypto inside smc world switches, the verifier's quote appraisal,
+   and the driver's phase spans tiling the session. Any re-ordering of
+   instrumentation — or a scheduling change — shows up here. *)
+let golden : string list =
+  [
+    "B monitor boot.verify_chain";
+    "E monitor boot.verify_chain";
+    "i secure caam.mkvb";
+    "B secure caam.subkey_derive";
+    "E secure caam.subkey_derive";
+    "B normal attest.session";
+    "B normal attest.phase.handshake";
+    "B monitor smc";
+    "B secure smc.secure";
+    "B secure crypto.ecdh_keygen";
+    "E secure crypto.ecdh_keygen";
+    "E secure smc.secure";
+    "E monitor smc";
+    "B secure ra.msg0_build";
+    "E secure ra.msg0_build";
+    "B monitor smc";
+    "B secure smc.secure";
+    "B secure ra.msg0_handle";
+    "B secure crypto.ecdh_keygen";
+    "E secure crypto.ecdh_keygen";
+    "B secure crypto.ecdh";
+    "E secure crypto.ecdh";
+    "B secure crypto.ecdsa_sign";
+    "E secure crypto.ecdsa_sign";
+    "E secure ra.msg0_handle";
+    "E secure smc.secure";
+    "E monitor smc";
+    "B monitor smc";
+    "B secure smc.secure";
+    "B secure ra.msg1_handle";
+    "B secure crypto.ecdh";
+    "E secure crypto.ecdh";
+    "B secure crypto.ecdsa_verify";
+    "E secure crypto.ecdsa_verify";
+    "E secure ra.msg1_handle";
+    "E secure smc.secure";
+    "E monitor smc";
+    "B secure crypto.ecdsa_sign";
+    "E secure crypto.ecdsa_sign";
+    "B monitor smc";
+    "B secure smc.secure";
+    "B secure ra.msg2_build";
+    "E secure ra.msg2_build";
+    "E secure smc.secure";
+    "E monitor smc";
+    "E normal attest.phase.handshake";
+    "B normal attest.phase.appraisal";
+    "B monitor smc";
+    "B secure smc.secure";
+    "B secure ra.msg2_handle";
+    "B secure ra.quote_verify";
+    "E secure ra.quote_verify";
+    "B secure crypto.aes_gcm_encrypt";
+    "E secure crypto.aes_gcm_encrypt";
+    "E secure ra.msg2_handle";
+    "E secure smc.secure";
+    "E monitor smc";
+    "i normal verifier.accept";
+    "B monitor smc";
+    "B secure smc.secure";
+    "E secure smc.secure";
+    "E monitor smc";
+    "B monitor smc";
+    "B secure smc.secure";
+    "B secure ra.msg3_handle";
+    "B secure crypto.aes_gcm_decrypt";
+    "E secure crypto.aes_gcm_decrypt";
+    "E secure ra.msg3_handle";
+    "E secure smc.secure";
+    "E monitor smc";
+    "E normal attest.phase.appraisal";
+    "E normal attest.session";
+  ]
+
+let test_golden_trace () =
+  let _, tracer = run_single_storm test_seed in
+  let seq = List.map brief (T.events tracer) in
+  if golden = [] then begin
+    List.iter (fun l -> Printf.printf "    %S;\n" l) seq;
+    Alcotest.fail "golden list not pinned yet"
+  end;
+  Alcotest.(check (list string)) "span sequence" golden seq
+
+(* Same seed => byte-identical exported trace. Everything feeding the
+   exporter is simulation-deterministic: timestamps from the simulated
+   clock, names static, ring order fixed. *)
+let test_replay_differential () =
+  let _, t1 = run_single_storm test_seed in
+  let _, t2 = run_single_storm test_seed in
+  let a = Export.trace_to_chrome t1 and b = Export.trace_to_chrome t2 in
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 2000);
+  Alcotest.(check bool) "byte-identical replay" true (String.equal a b)
+
+(* The storm's per-phase histograms line up with the phase spans in
+   the trace: handshake + appraisal tile the whole session. *)
+let test_phase_accounting () =
+  let r, tracer = run_single_storm test_seed in
+  let totals = Export.phase_totals (T.events tracer) in
+  let total_of name =
+    match List.find_opt (fun p -> p.Export.phase_name = name) totals with
+    | Some p -> p.Export.total_ns
+    | None -> 0
+  in
+  let session = total_of "attest.session" in
+  Alcotest.(check bool) "session span non-empty" true (session > 0);
+  Alcotest.(check int) "phases tile the session" session
+    (total_of "attest.phase.handshake" + total_of "attest.phase.appraisal");
+  let phase name =
+    match List.assoc_opt name r.Storm.phases with
+    | Some (h : H.summary) -> h
+    | None -> Alcotest.failf "storm report lacks phase %s" name
+  in
+  Alcotest.(check int) "handshake histogram counted" 1 (phase "handshake").H.count;
+  Alcotest.(check int) "appraisal histogram counted" 1 (phase "appraisal").H.count
+
+let case name f = Alcotest.test_case name `Quick f
+let q t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    ( "obs.tracer",
+      [
+        case "ring bounded, oldest dropped" test_ring_bounded;
+        case "span closes on exception" test_span_closes_on_exception;
+        case "disabled tracer: zero allocation" test_zero_alloc_disabled;
+        case "enabled tracer: zero allocation" test_zero_alloc_enabled;
+      ] );
+    ( "obs.metrics",
+      [
+        case "histogram quantiles within bucket error" test_histogram_sanity;
+        q qcheck_quantile_monotone;
+        q qcheck_merge_associative;
+        q qcheck_count_conserved;
+        q qcheck_split_merge;
+        case "registry counters and kinds" test_registry;
+      ] );
+    ( "obs.export",
+      [ case "chrome roundtrip" test_export_roundtrip ] );
+    ( "obs.determinism",
+      [
+        case "golden span sequence" test_golden_trace;
+        case "replay differential: byte-identical" test_replay_differential;
+        case "phase spans tile the session" test_phase_accounting;
+      ] );
+  ]

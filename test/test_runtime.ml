@@ -304,11 +304,20 @@ let test_module_cache_hits () =
   let app3 = Runtime.load ~config:aot_config ~entry:None soc bytes in
   Alcotest.(check bool) "other tier misses" false app3.Runtime.startup.Runtime.cache_hit;
   Alcotest.(check int) "two cache entries" 2 (Runtime.cache_size ());
+  (* The registry-backed stats agree: app1 missed, app2 hit, app3
+     (other tier) missed; the measurement memo saw one digest and two
+     memo hits for the same bytes. *)
+  Alcotest.(check (pair int int)) "module cache stats (hits, misses)" (1, 2)
+    (Runtime.module_cache_stats ());
+  Alcotest.(check (pair int int)) "measure memo stats (hits, misses)" (2, 1)
+    (Runtime.measure_memo_stats ());
   Runtime.unload app1;
   Runtime.unload app2;
   Runtime.unload app3;
   Runtime.cache_clear ();
-  Alcotest.(check int) "cache cleared" 0 (Runtime.cache_size ())
+  Alcotest.(check int) "cache cleared" 0 (Runtime.cache_size ());
+  Alcotest.(check (pair int int)) "stats reset with the cache" (0, 0)
+    (Runtime.module_cache_stats ())
 
 let test_module_cache_opt_out () =
   Runtime.cache_clear ();
@@ -319,6 +328,8 @@ let test_module_cache_opt_out () =
   let app2 = Runtime.load ~config ~entry:None soc bytes in
   Alcotest.(check bool) "no hit without cache" false app2.Runtime.startup.Runtime.cache_hit;
   Alcotest.(check int) "nothing cached" 0 (Runtime.cache_size ());
+  Alcotest.(check (pair int int)) "no cache stats recorded" (0, 0)
+    (Runtime.module_cache_stats ());
   Runtime.unload app1;
   Runtime.unload app2
 

@@ -148,6 +148,95 @@ let test_proc_exit () =
     app.Watz.Runtime.wasi_env.Wasi.exit_code;
   Watz.Runtime.unload app
 
+(* ------------------------------------------------------------------ *)
+(* The same WASI app under both worlds: secure (WaTZ runtime, syscalls
+   crossing the TrustZone boundary) and normal (the stock-WAMR
+   baseline). File output, clock and random must all work in both; a
+   load past the linear-memory limit must trap in both — the sandbox
+   holds on either side of the boundary. *)
+
+let both_worlds_app () =
+  let msg = "syscalls in two worlds\n" in
+  Dsl.program
+    ~imports:
+      [
+        imp "fd_write" [ I32; I32; I32; I32 ] (Some I32);
+        imp "clock_time_get" [ I32; I64; I32 ] (Some I32);
+        imp "random_get" [ I32; I32 ] (Some I32);
+      ]
+    ~data:[ (64, msg) ]
+    [
+      fn "_start" [] None
+        [
+          (* iovec at 16: ptr=64, len=|msg| *)
+          i32_set (i 0) (i 4) (i 64);
+          i32_set (i 0) (i 5) (i (String.length msg));
+          ExprS (calle "fd_write" [ i 1; i 16; i 1; i 32 ]);
+          ret_void;
+        ];
+      fn "now" [] (Some I64)
+        [ ExprS (calle "clock_time_get" [ i 0; LongE 1L; i 8 ]); ret (LoadE (I64, i 8)) ];
+      fn "fill" [] (Some I32) [ ret (calle "random_get" [ i 128; i 16 ]) ];
+      fn "peek" [ ("a", I32) ] (Some I32) [ ret (LoadE (I32, v "a")) ];
+    ]
+
+let booted_soc () =
+  let soc = Watz_tz.Soc.manufacture ~seed:"wasi-worlds" () in
+  (match Watz_tz.Soc.boot soc with Ok _ -> () | Error _ -> assert false);
+  soc
+
+let check_world ~world ~invoke ~memory ~output ~trap =
+  Alcotest.(check string) (world ^ ": fd_write reached the console") "syscalls in two worlds\n"
+    output;
+  (match invoke "now" [] with
+  | [ Watz_wasm.Ast.VI64 t ] ->
+    Alcotest.(check bool) (world ^ ": clock readable") true (Stdlib.( >= ) t 0L)
+  | _ -> Alcotest.fail (world ^ ": clock_time_get"));
+  (match invoke "fill" [] with
+  | [ Watz_wasm.Ast.VI32 0l ] -> ()
+  | _ -> Alcotest.fail (world ^ ": random_get rc"));
+  let drawn = Watz_wasm.Instance.Memory.load_string (Option.get memory) 128 16 in
+  Alcotest.(check bool) (world ^ ": random bytes written") false
+    (String.equal drawn (String.make 16 '\000'));
+  (* A read past the linear-memory limit must trap, not read the
+     host's (or the other world's) memory. *)
+  trap (fun () -> invoke "peek" [ Watz_wasm.Ast.VI32 0x7ff0_0000l ])
+
+let test_syscalls_secure_world () =
+  let soc = booted_soc () in
+  let app = Watz.Runtime.load soc (Watz_wasm.Encode.encode (compile (both_worlds_app ()))) in
+  check_world ~world:"secure"
+    ~invoke:(Watz.Runtime.invoke app)
+    ~memory:(Watz.Runtime.export_memory app)
+    ~output:(Watz.Runtime.output app)
+    ~trap:(fun f ->
+      match f () with
+      | _ -> Alcotest.fail "secure: OOB read did not trap"
+      | exception Watz.Runtime.App_trap _ -> ());
+  Watz.Runtime.unload app
+
+let test_syscalls_normal_world () =
+  let soc = booted_soc () in
+  let app = Watz.Wamr.load soc (Watz_wasm.Encode.encode (compile (both_worlds_app ()))) in
+  check_world ~world:"normal"
+    ~invoke:(Watz.Wamr.invoke app)
+    ~memory:(Watz.Wamr.export_memory app)
+    ~output:(Watz.Wamr.output app)
+    ~trap:(fun f ->
+      match f () with
+      | _ -> Alcotest.fail "normal: OOB read did not trap"
+      | exception Watz.Wamr.App_trap _ -> ())
+
+(* The shared-memory staging limit is part of the WASI app's world
+   contract too: a binary too large for the 9 MB pool must be refused
+   at the boundary (typed error), never partially staged. *)
+let test_shared_memory_limit () =
+  let soc = booted_soc () in
+  let huge = String.make 10485760 'Z' in
+  match Watz.Runtime.load soc huge with
+  | _ -> Alcotest.fail "10 MB binary staged through the 9 MB shared pool"
+  | exception Watz_tz.Optee.Out_of_memory _ -> ()
+
 let case name f = Alcotest.test_case name `Quick f
 
 let suite =
@@ -162,5 +251,11 @@ let suite =
         case "stubs return ENOSYS" test_stub_returns_enosys;
         case "fd_write fd policy" test_fd_write_bad_fd;
         case "proc_exit captured" test_proc_exit;
+      ] );
+    ( "wasi.worlds",
+      [
+        case "file/clock/random in the secure world" test_syscalls_secure_world;
+        case "file/clock/random in the normal world" test_syscalls_normal_world;
+        case "shared-memory limit refused" test_shared_memory_limit;
       ] );
   ]
