@@ -224,9 +224,25 @@ let attest_storm_cmd =
     Arg.(
       value & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Write a Chrome trace_event JSON trace of the whole storm.")
+          ~doc:"Write a Chrome trace_event JSON trace of the whole storm (shard-tagged \
+                process tracks when $(b,--shards) > 1).")
   in
-  let run sessions seed profile_name smoke trace_file =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Run the storm as a domain-sharded verifier fleet of $(docv) parallel \
+                boards; sessions are sharded by attester id and metrics/traces merged \
+                at join.")
+  in
+  let metrics_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the merged fleet metrics registry as flat JSON (byte-identical \
+                across fixed-seed runs). Requires $(b,--shards).")
+  in
+  let run sessions seed profile_name smoke trace_file shards metrics_file =
     match Watz.Storm.profile_named profile_name with
     | None ->
       Printf.eprintf "unknown profile %S; known: %s\n" profile_name
@@ -234,33 +250,68 @@ let attest_storm_cmd =
       exit 2
     | Some profile ->
       let sessions = if smoke then min sessions 8 else sessions in
-      let config = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile } in
-      let tracer =
-        match trace_file with None -> None | Some _ -> Some (Watz_obs.Trace.create ())
-      in
-      let r = Watz.Storm.run ~config ?tracer () in
-      (match (trace_file, tracer) with
-      | Some path, Some t ->
-        Watz_obs.Export.write_file path (Watz_obs.Export.trace_to_chrome t);
-        Printf.printf "trace: %d events (%d dropped) -> %s\n"
-          (List.length (Watz_obs.Trace.events t))
-          (Watz_obs.Trace.dropped t) path
-      | _ -> ());
-      Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed Watz.Storm.pp_report r;
       (* Under non-tampering profiles, not completing is a failure. *)
-      let tampering =
-        List.mem profile_name [ "corrupt"; "truncate"; "mitm-flip" ]
+      let tampering = List.mem profile_name [ "corrupt"; "truncate"; "mitm-flip" ] in
+      let check_rate rate =
+        if (not tampering) && rate < 0.99 then begin
+          Printf.eprintf "FAIL: completion rate %.1f%% below 99%%\n" (100.0 *. rate);
+          exit 1
+        end
       in
-      if (not tampering) && Watz.Storm.completion_rate r < 0.99 then begin
-        Printf.eprintf "FAIL: completion rate %.1f%% below 99%%\n"
-          (100.0 *. Watz.Storm.completion_rate r);
-        exit 1
+      if shards > 1 then begin
+        let config =
+          {
+            Watz.Fleet.shards;
+            storm = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile };
+            trace_capacity = (match trace_file with None -> 0 | Some _ -> 65536);
+          }
+        in
+        let r = Watz.Fleet.run ~config () in
+        (match trace_file with
+        | Some path ->
+          Watz_obs.Export.write_file path (Watz.Fleet.trace_json r);
+          Printf.printf "trace: %d shards merged (%d events dropped) -> %s\n"
+            (List.length r.Watz.Fleet.trace)
+            (Watz_obs.Merge.total_dropped r.Watz.Fleet.trace)
+            path
+        | None -> ());
+        (match metrics_file with
+        | Some path ->
+          Watz_obs.Export.write_file path (Watz.Fleet.metrics_json r);
+          Printf.printf "metrics: %s\n" path
+        | None -> ());
+        Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed Watz.Fleet.pp_report r;
+        check_rate (Watz.Fleet.completion_rate r)
+      end
+      else begin
+        let config = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile } in
+        let tracer =
+          match trace_file with None -> None | Some _ -> Some (Watz_obs.Trace.create ())
+        in
+        let r = Watz.Storm.run ~config ?tracer () in
+        (match (trace_file, tracer) with
+        | Some path, Some t ->
+          Watz_obs.Export.write_file path (Watz_obs.Export.trace_to_chrome t);
+          Printf.printf "trace: %d events (%d dropped) -> %s\n"
+            (List.length (Watz_obs.Trace.events t))
+            (Watz_obs.Trace.dropped t) path
+        | _ -> ());
+        (match metrics_file with
+        | Some path ->
+          (* Single-shard fleet of one: same merged-registry format. *)
+          let reg = Watz.Fleet.merged_metrics ~shards:1 [ r ] in
+          Watz_obs.Export.write_file path (Watz_obs.Export.metrics_to_json reg);
+          Printf.printf "metrics: %s\n" path
+        | None -> ());
+        Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed Watz.Storm.pp_report r;
+        check_rate (Watz.Storm.completion_rate r)
       end
   in
   Cmd.v
     (Cmd.info "attest-storm"
-       ~doc:"Run many concurrent attestation sessions over a fault-injected network")
-    Term.(const run $ sessions $ seed $ profile $ smoke $ trace_file)
+       ~doc:"Run many concurrent attestation sessions over a fault-injected network, \
+             optionally as a domain-sharded verifier fleet ($(b,--shards))")
+    Term.(const run $ sessions $ seed $ profile $ smoke $ trace_file $ shards $ metrics_file)
 
 let verify_protocol_cmd =
   let run () =

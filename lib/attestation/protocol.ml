@@ -340,7 +340,19 @@ module Verifier = struct
       attester never saw msg1 and is retransmitting; answer from cache. *)
   let is_msg0_retransmit session raw = String.equal raw session.ga_raw
 
-  let msg1_reply session = session.msg1
+  (** The appraisal reached its terminal state: evidence accepted and
+      msg3 issued. Completed sessions only ever answer the byte-exact
+      msg2 retransmit (from the msg3 cache); every other message is
+      stray traffic that must not restart the handshake. *)
+  let completed session = session.accepted_evidence <> None
+
+  (** The cached msg1 for answering a msg0 retransmit — available only
+      while the handshake is still open. Once the session completed
+      this is [None]: a late-duplicated msg0 must not resurrect the
+      handshake by re-offering msg1 (the attester holding the secret
+      blob has no use for it, and answering would reopen a finished
+      exchange to replay traffic). *)
+  let msg1_reply session = if completed session then None else Some session.msg1
 
   (** Handle msg0: generate the verifier's ephemeral pair and the
       shared secrets (②), sign both session keys (③), reply msg1. *)

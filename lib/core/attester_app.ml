@@ -173,9 +173,13 @@ let handle_frame t frame =
     (* A duplicated/delayed msg1 can land while we await msg3: the
        idempotent handler recognizes the byte-identical retransmit (and
        rejects anything else without touching state), and we answer it
-       by resending msg2 rather than mis-parsing it as msg3. *)
+       by resending msg2 rather than mis-parsing it as msg3. The resend
+       restarts the deadline (msg2 just went out again — firing the
+       timer on the old deadline would retransmit it twice in a row)
+       but keeps the current backed-off timeout: only a phase advance
+       resets the backoff, via [rearm_fresh]. *)
     match Watz_tz.Soc.smc t.soc (fun () -> P.Attester.handle_msg1 t.proto frame) with
-    | Ok _anchor -> ignore (send t t.outstanding)
+    | Ok _anchor -> if send t t.outstanding then arm t
     | Error _ -> (
       match Watz_tz.Soc.smc t.soc (fun () -> P.Attester.handle_msg3 t.proto frame) with
       | Ok blob -> finish t (Done blob)

@@ -1,0 +1,290 @@
+(** Domain-sharded verifier fleet: N independent simulated boards, one
+    per OCaml 5 domain, appraising disjoint slices of one attestation
+    storm in parallel.
+
+    WaTZ's evaluation runs attestation end-to-end on a single board;
+    the fleet is the step toward the roadmap's verifier-side scale:
+    throughput that grows with cores instead of single-thread crypto
+    speed. Each shard owns a complete board — its own {!Watz_tz.Simclock},
+    {!Watz_tz.Net} endpoint (single-domain ownership, enforced by the
+    network layer), {!Verifier_app} instance, and per-domain
+    metrics/trace sinks — so the shards share no mutable state and never
+    synchronise on the hot path. The only cross-domain traffic is the
+    bounded supervisor queue carrying per-session termination events.
+
+    Determinism contract (see DESIGN.md):
+
+    - shard [k] of [N] runs with seed [storm.seed lxor k], sessions
+      [first_sid = k + 1, sid_stride = N] (sessions sharded by attester
+      id, ids globally unique), so every shard is byte-deterministic in
+      isolation — domain scheduling cannot perturb a shard's simulated
+      board;
+    - merge-at-join: per-shard metrics registries and phase histograms
+      combine through commutative merges ({!Watz_obs.Metrics.merge_into},
+      [Histogram.merge_into]) and traces through the shard-tagged
+      {!Watz_obs.Merge}, so the merged artifacts are independent of
+      join order and wall-clock interleaving — two fixed-seed runs
+      produce byte-identical merged metrics and traces. The supervisor
+      queue's arrival order is the one scheduling-dependent observation;
+      the report only keeps order-insensitive aggregates of it. *)
+
+module Histogram = Watz_obs.Metrics.Histogram
+module Metrics = Watz_obs.Metrics
+module Merge = Watz_obs.Merge
+module Trace = Watz_obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safe bounded queue (multi-producer, single-consumer) *)
+
+(* Classic mutex/condition ring: producers block once [capacity] events
+   are in flight (backpressure on fast shards), the consumer blocks
+   until an event or every producer retired. Deliberately boring — the
+   queue is the only cross-domain channel, so it is the one place
+   where being obviously correct beats being clever. *)
+module Bqueue = struct
+  type 'a t = {
+    lock : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    items : 'a Queue.t;
+    capacity : int;
+    producers : int;
+    mutable retired : int; (* producers that called [producer_done] *)
+  }
+
+  let create ~capacity ~producers =
+    {
+      lock = Mutex.create ();
+      not_full = Condition.create ();
+      not_empty = Condition.create ();
+      items = Queue.create ();
+      capacity = max 1 capacity;
+      producers;
+      retired = 0;
+    }
+
+  let push t x =
+    Mutex.lock t.lock;
+    while Queue.length t.items >= t.capacity do
+      Condition.wait t.not_full t.lock
+    done;
+    Queue.push x t.items;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock
+
+  (* A producer will push nothing further; once all have retired, [pop]
+     drains the remainder and then returns [None]. *)
+  let producer_done t =
+    Mutex.lock t.lock;
+    t.retired <- t.retired + 1;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.lock
+
+  let pop t =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.items && t.retired < t.producers do
+      Condition.wait t.not_empty t.lock
+    done;
+    let out =
+      if Queue.is_empty t.items then None
+      else begin
+        let x = Queue.pop t.items in
+        Condition.signal t.not_full;
+        Some x
+      end
+    in
+    Mutex.unlock t.lock;
+    out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type config = {
+  shards : int;
+  storm : Storm.config; (* [storm.sessions] is the fleet-wide total *)
+  trace_capacity : int; (* per-shard tracer ring; 0 leaves tracing off *)
+}
+
+let default_config = { shards = 2; storm = Storm.default_config; trace_capacity = 0 }
+
+(* Per-shard seed: the issue's [seed xor shard_id]. Shards with equal
+   derived seeds would replay each other's fault schedule; xor with the
+   small shard id keeps the streams distinct while staying trivially
+   reproducible by hand. *)
+let shard_seed base k = Int64.logxor base (Int64.of_int k)
+
+(* Balanced split: the first [total mod shards] shards take one extra
+   session. *)
+let shard_sessions ~total ~shards k = (total / shards) + (if k < total mod shards then 1 else 0)
+
+let shard_config config k =
+  {
+    config.storm with
+    Storm.sessions = shard_sessions ~total:config.storm.Storm.sessions ~shards:config.shards k;
+    seed = shard_seed config.storm.Storm.seed k;
+    first_sid = k + 1;
+    sid_stride = config.shards;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+(** One supervisor-queue event: which shard, and what its storm
+    observed. *)
+type event = { shard : int; ev : Storm.session_event }
+
+type report = {
+  shards : int;
+  sessions : int;
+  completed : int;
+  aborted : int;
+  retries : int;
+  ticks : int; (* slowest shard, in that shard's simulated ticks *)
+  queue_events : int; (* events received over the supervisor queue *)
+  queue_done : int; (* Session_done events among them *)
+  queue_aborted : int;
+  evictions : int; (* verifier-side evictions reported over the queue *)
+  per_shard : (int * Storm.report) list; (* ordered by shard id *)
+  metrics : Metrics.t; (* merged registry: fleet.* / server.* / net.* / phase.* *)
+  phases : (string * Histogram.summary) list; (* merged across shards *)
+  trace : Merge.shard list; (* per-shard traces; [] when tracing is off *)
+}
+
+let completion_rate r =
+  if r.sessions = 0 then 1.0 else float_of_int r.completed /. float_of_int r.sessions
+
+(* The merged registry names are stable and prefixed by layer, so the
+   flat JSON export is a canonical, diffable artifact: two fixed-seed
+   runs must produce byte-identical dumps. *)
+let merged_metrics ~shards reports =
+  let reg = Metrics.create () in
+  Metrics.add reg "fleet.shards" shards;
+  List.iter
+    (fun (r : Storm.report) ->
+      Metrics.add reg "fleet.sessions" r.Storm.sessions;
+      Metrics.add reg "fleet.completed" r.Storm.completed;
+      Metrics.add reg "fleet.aborted" r.Storm.aborted;
+      Metrics.add reg "fleet.retries" r.Storm.retries;
+      let ticks = Metrics.gauge reg "fleet.ticks_max" in
+      if r.Storm.ticks > Metrics.Gauge.get ticks then Metrics.Gauge.set ticks r.Storm.ticks;
+      List.iter (fun (name, v) -> Metrics.add reg ("server." ^ name) v) r.Storm.server;
+      List.iter (fun (name, v) -> Metrics.add reg ("net." ^ name) v) r.Storm.faults;
+      List.iter
+        (fun (name, h) -> Histogram.merge_into ~into:(Metrics.histogram reg ("phase." ^ name)) h)
+        r.Storm.phase_hists)
+    reports;
+  reg
+
+(* ------------------------------------------------------------------ *)
+(* The supervisor *)
+
+(** Run the fleet: spawn one domain per shard, each simulating its
+    board to completion, while this domain drains the event queue;
+    then join and merge. The merged report is a pure function of
+    [config] — see the determinism contract above. *)
+let run ?(config = default_config) () =
+  if config.shards < 1 then invalid_arg "Fleet.run: shards must be >= 1";
+  if config.storm.Storm.sessions < config.shards then
+    invalid_arg "Fleet.run: fewer sessions than shards";
+  let n = config.shards in
+  let q : event Bqueue.t = Bqueue.create ~capacity:64 ~producers:n in
+  let spawn k =
+    Domain.spawn (fun () ->
+        (* Everything the shard touches — board, network, tracer,
+           crypto key objects — is constructed here, inside the shard's
+           domain, so nothing mutable is ever shared (Net enforces its
+           side with a Wrong_domain check). *)
+        let tracer =
+          if config.trace_capacity > 0 then Some (Trace.create ~capacity:config.trace_capacity ())
+          else None
+        in
+        let storm_config = shard_config config k in
+        let report =
+          Fun.protect
+            ~finally:(fun () -> Bqueue.producer_done q)
+            (fun () ->
+              Storm.run ~config:storm_config ?tracer
+                ~notify:(fun ev -> Bqueue.push q { shard = k; ev })
+                ())
+        in
+        (k, report, Option.map (Merge.of_tracer ~shard_id:k) tracer))
+  in
+  let domains = List.init n spawn in
+  (* Drain until every shard retired: the queue is bounded, so the
+     supervisor must consume while the shards run, not after. *)
+  let queue_events = ref 0
+  and queue_done = ref 0
+  and queue_aborted = ref 0
+  and evictions = ref 0 in
+  let rec drain () =
+    match Bqueue.pop q with
+    | None -> ()
+    | Some { ev; _ } ->
+      incr queue_events;
+      (match ev with
+      | Storm.Session_done _ -> incr queue_done
+      | Storm.Session_aborted _ -> incr queue_aborted
+      | Storm.Session_evicted _ -> incr evictions);
+      drain ()
+  in
+  drain ();
+  let results =
+    List.map Domain.join domains
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let reports = List.map (fun (_, r, _) -> r) results in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let phases_reg = merged_metrics ~shards:n reports in
+  let merged_phases =
+    List.filter_map
+      (fun (name, h) ->
+        match String.length name > 6 && String.sub name 0 6 = "phase." with
+        | true when Histogram.count h > 0 ->
+          Some (String.sub name 6 (String.length name - 6), Histogram.summarize h)
+        | _ -> None)
+      (Metrics.histograms phases_reg)
+  in
+  {
+    shards = n;
+    sessions = sum (fun r -> r.Storm.sessions);
+    completed = sum (fun r -> r.Storm.completed);
+    aborted = sum (fun r -> r.Storm.aborted);
+    retries = sum (fun r -> r.Storm.retries);
+    ticks = List.fold_left (fun acc r -> max acc r.Storm.ticks) 0 reports;
+    queue_events = !queue_events;
+    queue_done = !queue_done;
+    queue_aborted = !queue_aborted;
+    evictions = !evictions;
+    per_shard = List.map (fun (k, r, _) -> (k, r)) results;
+    metrics = phases_reg;
+    phases = merged_phases;
+    trace = List.filter_map (fun (_, _, t) -> t) results;
+  }
+
+(** The merged registry as canonical flat JSON (the byte-identity
+    artifact of the acceptance criteria). *)
+let metrics_json r = Watz_obs.Export.metrics_to_json r.metrics
+
+(** The merged shard-tagged Chrome trace ([] shards -> empty document). *)
+let trace_json r = Merge.chrome_of_shards r.trace
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "shards %d | sessions %d | completed %d (%.1f%%) | aborted %d | retries %d | ticks(max) %d"
+    r.shards r.sessions r.completed
+    (100.0 *. completion_rate r)
+    r.aborted r.retries r.ticks;
+  Format.fprintf ppf "@\n  queue: %d events (%d done, %d aborted, %d evictions)" r.queue_events
+    r.queue_done r.queue_aborted r.evictions;
+  List.iter
+    (fun (name, (h : Histogram.summary)) ->
+      Format.fprintf ppf "@\n  phase %-9s p50 %a | p95 %a | p99 %a" name Watz_util.Stats.pp_ns
+        h.Histogram.p50 Watz_util.Stats.pp_ns h.Histogram.p95 Watz_util.Stats.pp_ns
+        h.Histogram.p99)
+    r.phases;
+  List.iter
+    (fun (k, (s : Storm.report)) ->
+      Format.fprintf ppf "@\n  shard %d: %d/%d completed in %d ticks" k s.Storm.completed
+        s.Storm.sessions s.Storm.ticks)
+    r.per_shard

@@ -76,7 +76,18 @@ type app = {
 
 (* The prepared-module cache, keyed by (measurement, tier). Entries are
    instance-free (Engine.prepared), so sharing them across apps — and
-   across SoCs — is safe; each load still links its own instance. *)
+   across SoCs — is safe; each load still links its own instance.
+
+   The cache, the measurement memo and their hit/miss registry are the
+   only process-wide mutable state in the runtime, shared by every
+   fleet shard; [cache_lock] serialises all access (stdlib Hashtbl is
+   not domain-safe). The critical sections never run Wasm or crypto —
+   at most one module prepare under a cold miss — so contention is
+   confined to cache bookkeeping. *)
+let cache_lock = Mutex.create ()
+
+let locked f = Mutex.protect cache_lock f
+
 let module_cache : (string * exec_tier, Engine.prepared) Hashtbl.t = Hashtbl.create 16
 
 (* Measurement memo: repeated loads of the same bytecode (attestation
@@ -93,35 +104,41 @@ let measure_cache : (string, string) Hashtbl.t = Hashtbl.create 16
 let metrics = Watz_obs.Metrics.create ()
 
 let measure wasm_bytes =
-  match Hashtbl.find_opt measure_cache wasm_bytes with
+  match locked (fun () -> Hashtbl.find_opt measure_cache wasm_bytes) with
   | Some claim ->
-    Watz_obs.Metrics.incr metrics "measure_memo.hits";
+    locked (fun () -> Watz_obs.Metrics.incr metrics "measure_memo.hits");
     claim
   | None ->
-    Watz_obs.Metrics.incr metrics "measure_memo.misses";
+    (* Digest outside the lock; a racing domain at worst re-digests the
+       same bytes and stores the identical claim. *)
     let claim = Watz_crypto.Sha256.digest wasm_bytes in
-    if Hashtbl.length measure_cache >= 64 then Hashtbl.reset measure_cache;
-    Hashtbl.add measure_cache wasm_bytes claim;
+    locked (fun () ->
+        Watz_obs.Metrics.incr metrics "measure_memo.misses";
+        if Hashtbl.length measure_cache >= 64 then Hashtbl.reset measure_cache;
+        Hashtbl.replace measure_cache wasm_bytes claim);
     claim
 
 let cache_clear () =
-  Hashtbl.reset module_cache;
-  Hashtbl.reset measure_cache;
-  Watz_obs.Metrics.reset metrics
+  locked (fun () ->
+      Hashtbl.reset module_cache;
+      Hashtbl.reset measure_cache;
+      Watz_obs.Metrics.reset metrics)
 
-let cache_size () = Hashtbl.length module_cache
+let cache_size () = locked (fun () -> Hashtbl.length module_cache)
 
 (** (hits, misses) of the prepared-module cache since the last
     {!cache_clear}. *)
 let module_cache_stats () =
-  ( Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "module_cache.hits"),
-    Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "module_cache.misses") )
+  locked (fun () ->
+      ( Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "module_cache.hits"),
+        Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "module_cache.misses") ))
 
 (** (hits, misses) of the measurement memo since the last
     {!cache_clear}. *)
 let measure_memo_stats () =
-  ( Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "measure_memo.hits"),
-    Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "measure_memo.misses") )
+  locked (fun () ->
+      ( Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "measure_memo.hits"),
+        Watz_obs.Metrics.Counter.get (Watz_obs.Metrics.counter metrics "measure_memo.misses") ))
 
 let watz_ta_uuid = "a7c9e1f0-watz-runtime"
 
@@ -199,25 +216,33 @@ let load ?(config = default_config) ?(entry = Some "_start") soc wasm_bytes =
   (* Load phase: decode + validate + tier pre-compilation, or a cache
      hit on the measurement computed above. *)
   let cache_key = (claim, config.tier) in
-  let cache_hit = config.use_cache && Hashtbl.mem module_cache cache_key in
+  let cache_hit =
+    config.use_cache && locked (fun () -> Hashtbl.mem module_cache cache_key)
+  in
   if config.use_cache then begin
     if cache_hit then begin
-      Watz_obs.Metrics.incr metrics "module_cache.hits";
+      locked (fun () -> Watz_obs.Metrics.incr metrics "module_cache.hits");
       T.instant trace T.Secure ~session:sid "module_cache.hit"
     end
     else begin
-      Watz_obs.Metrics.incr metrics "module_cache.misses";
+      locked (fun () -> Watz_obs.Metrics.incr metrics "module_cache.misses");
       T.instant trace T.Secure ~session:sid "module_cache.miss"
     end
   end;
   let load_ns, prepared =
     T.span trace T.Secure ~session:sid "launch.load" @@ fun () ->
     time (fun () ->
-        match if config.use_cache then Hashtbl.find_opt module_cache cache_key else None with
+        match
+          if config.use_cache then locked (fun () -> Hashtbl.find_opt module_cache cache_key)
+          else None
+        with
         | Some p -> p
         | None ->
+          (* Prepare outside the lock (it is the expensive step); a
+             concurrent miss on the same key prepares twice and the
+             last store wins — both values are equivalent. *)
           let p = Engine.prepare ~trace ~sid config.tier bytecode in
-          if config.use_cache then Hashtbl.replace module_cache cache_key p;
+          if config.use_cache then locked (fun () -> Hashtbl.replace module_cache cache_key p);
           p)
   in
   let instantiate_ns, instance =

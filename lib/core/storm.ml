@@ -24,6 +24,12 @@ type config = {
   stagger : int; (* sessions launched per tick *)
   quantum_ns : int; (* simulated time per tick *)
   max_ticks : int; (* hard stop for never-converging profiles *)
+  first_sid : int; (* id of the first launched session *)
+  sid_stride : int;
+      (* id distance between consecutive launches. A fleet shard k of N
+         runs [first_sid = k + 1; sid_stride = N]: sessions are sharded
+         by attester id (sid mod N picks the shard) and ids stay
+         globally unique across the merged trace. *)
 }
 
 let default_config =
@@ -35,6 +41,8 @@ let default_config =
     stagger = 4;
     quantum_ns = 1_000_000;
     max_ticks = 20_000;
+    first_sid = 1;
+    sid_stride = 1;
   }
 
 (* Flip the first payload byte of every segment, leaving the length
@@ -80,14 +88,30 @@ type report = {
       (* per-phase latency distributions over completed sessions:
          "handshake" (msg0 -> msg2 sent), "appraisal" (msg2 -> blob),
          "total" — simulated ns *)
+  phase_hists : (string * Histogram.t) list;
+      (* the same three distributions as mergeable histograms (present
+         even when empty) — the fleet merges them across shards with
+         [Histogram.merge_into] before summarising *)
 }
+
+(** Per-session terminations, streamed while the storm runs: the fleet
+    forwards these over its supervisor queue as they happen instead of
+    waiting for the shard's final report. [Session_evicted] carries the
+    verifier-side session id (server connection numbering), the other
+    two the attester sid. *)
+type session_event =
+  | Session_done of { sid : int; latency_ns : int64; retries : int }
+  | Session_aborted of { sid : int; reason : string }
+  | Session_evicted of { server_sid : int }
 
 let completion_rate r =
   if r.sessions = 0 then 1.0 else float_of_int r.completed /. float_of_int r.sessions
 
 (** Run one storm. The whole schedule is a pure function of
-    [config.seed]: a failing run replays exactly from its seed. *)
-let run ?(config = default_config) ?tracer () =
+    [config.seed]: a failing run replays exactly from its seed.
+    [notify] observes each session termination as it happens (fleet
+    shards stream these to the supervisor). *)
+let run ?(config = default_config) ?tracer ?(notify = fun (_ : session_event) -> ()) () =
   let soc = Soc.manufacture ~seed:"storm-board" () in
   (* Attach before boot so the secure-boot and CAAM spans are traced. *)
   (match tracer with Some trace -> Soc.attach_tracer soc trace | None -> ());
@@ -102,7 +126,10 @@ let run ?(config = default_config) ?tracer () =
   in
   Net.configure soc.Soc.net ~seed:config.seed ~profile:config.profile;
   let port = 7100 in
-  let server = Verifier_app.start soc ~port ~policy in
+  let server =
+    Verifier_app.start soc ~port ~policy
+      ~on_evict:(fun server_sid -> notify (Session_evicted { server_sid }))
+  in
   let issue ~anchor =
     (* Evidence signing happens in the secure world's attestation
        service (⑥); the storm bypasses the kernel-call plumbing, so
@@ -118,9 +145,10 @@ let run ?(config = default_config) ?tracer () =
   let launch () =
     let n = min config.stagger (config.sessions - !launched) in
     for _ = 1 to n do
+      let sid = config.first_sid + (!launched * config.sid_stride) in
       incr launched;
       let a =
-        Attester_app.start ~retry:config.retry ~sid:!launched soc ~port ~random
+        Attester_app.start ~retry:config.retry ~sid soc ~port ~random
           ~expected_verifier:policy.P.Verifier.identity_pub ~issue
       in
       attesters := a :: !attesters
@@ -130,6 +158,32 @@ let run ?(config = default_config) ?tracer () =
     !launched = config.sessions
     && List.for_all (fun a -> Attester_app.outcome a <> Attester_app.Pending) !attesters
   in
+  (* Sessions whose termination has already been streamed to [notify];
+     scanned after each tick so events fire the tick they happen. *)
+  let reported = Hashtbl.create 16 in
+  let stream_terminations () =
+    List.iter
+      (fun (a : Attester_app.t) ->
+        if not (Hashtbl.mem reported a.Attester_app.sid) then
+          match Attester_app.outcome a with
+          | Attester_app.Pending -> ()
+          | Attester_app.Done _ ->
+            Hashtbl.replace reported a.Attester_app.sid ();
+            notify
+              (Session_done
+                 {
+                   sid = a.Attester_app.sid;
+                   latency_ns =
+                     Int64.sub (Attester_app.finished_ns a) (Attester_app.started_ns a);
+                   retries = Attester_app.retries a;
+                 })
+          | Attester_app.Aborted e ->
+            Hashtbl.replace reported a.Attester_app.sid ();
+            notify
+              (Session_aborted
+                 { sid = a.Attester_app.sid; reason = Format.asprintf "%a" P.pp_error e }))
+      !attesters
+  in
   let ticks = ref 0 in
   while (not (all_terminal ())) && !ticks < config.max_ticks do
     incr ticks;
@@ -137,6 +191,7 @@ let run ?(config = default_config) ?tracer () =
     Net.tick soc.Soc.net;
     Verifier_app.step server;
     List.iter Attester_app.step !attesters;
+    stream_terminations ();
     Watz_tz.Simclock.advance soc.Soc.clock config.quantum_ns
   done;
   (* Sessions still pending at the hard stop count as aborted. *)
@@ -173,29 +228,25 @@ let run ?(config = default_config) ?tracer () =
         | _ -> None)
       outcomes
   in
+  let handshake = Histogram.create ()
+  and appraisal = Histogram.create ()
+  and total = Histogram.create () in
+  List.iter
+    (fun (a, o) ->
+      match o with
+      | Attester_app.Done _ ->
+        let s = Attester_app.started_ns a
+        and m = Attester_app.msg2_sent_ns a
+        and f = Attester_app.finished_ns a in
+        Histogram.record handshake (Int64.to_int (Int64.sub m s));
+        Histogram.record appraisal (Int64.to_int (Int64.sub f m));
+        Histogram.record total (Int64.to_int (Int64.sub f s))
+      | _ -> ())
+    outcomes;
+  let phase_hists = [ ("handshake", handshake); ("appraisal", appraisal); ("total", total) ] in
   let phases =
-    let handshake = Histogram.create ()
-    and appraisal = Histogram.create ()
-    and total = Histogram.create () in
-    List.iter
-      (fun (a, o) ->
-        match o with
-        | Attester_app.Done _ ->
-          let s = Attester_app.started_ns a
-          and m = Attester_app.msg2_sent_ns a
-          and f = Attester_app.finished_ns a in
-          Histogram.record handshake (Int64.to_int (Int64.sub m s));
-          Histogram.record appraisal (Int64.to_int (Int64.sub f m));
-          Histogram.record total (Int64.to_int (Int64.sub f s))
-        | _ -> ())
-      outcomes;
     if Histogram.count total = 0 then []
-    else
-      [
-        ("handshake", Histogram.summarize handshake);
-        ("appraisal", Histogram.summarize appraisal);
-        ("total", Histogram.summarize total);
-      ]
+    else List.map (fun (name, h) -> (name, Histogram.summarize h)) phase_hists
   in
   {
     sessions = config.sessions;
@@ -208,6 +259,7 @@ let run ?(config = default_config) ?tracer () =
     aborts;
     latency = (match latencies with [] -> None | l -> Some (Stats.summarize (Array.of_list l)));
     phases;
+    phase_hists;
   }
 
 let pp_report ppf r =

@@ -42,6 +42,7 @@ type t = {
   mutable next_id : int;
   session_timeout_ns : int64;
   metrics : Metrics.t; (* server-side counters, dumped by the storm report *)
+  on_evict : int -> unit; (* observer for evicted session ids *)
   mutable served : int; (* completed attestations *)
   mutable rejected : int;
   mutable last_err : P.error option;
@@ -50,8 +51,10 @@ type t = {
 (** Start listening. [soc] is the device hosting the verifier (the
     paper co-locates attester and verifier on one board). Stalled
     sessions are evicted after [session_timeout_ns] of simulated-clock
-    inactivity (default 2 s). *)
-let start ?(session_timeout_ns = 2_000_000_000L) soc ~port ~policy =
+    inactivity (default 2 s); [on_evict] observes each eviction with
+    the server-side session id (the fleet forwards these to its
+    supervisor queue). *)
+let start ?(session_timeout_ns = 2_000_000_000L) ?(on_evict = fun _ -> ()) soc ~port ~policy =
   ignore (Watz_tz.Net.listen soc.Watz_tz.Soc.net ~port);
   (* Pay the one-time crypto table costs (fixed-base comb, endorsed-key
      windows, identity encoding) at startup, not inside the first
@@ -67,6 +70,7 @@ let start ?(session_timeout_ns = 2_000_000_000L) soc ~port ~policy =
     sessions = Hashtbl.create 32;
     next_id = 0;
     session_timeout_ns;
+    on_evict;
     metrics = Metrics.create ();
     served = 0;
     rejected = 0;
@@ -123,11 +127,20 @@ let handle_frame t state frame =
     | Error e -> abort t state e)
   | Some vsession ->
     if P.Verifier.is_msg0_retransmit vsession frame then begin
-      (* The attester never saw msg1: answer from the session cache. *)
-      Metrics.incr t.metrics "retransmits_answered";
-      T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
-        "verifier.retransmit_answered";
-      ignore (reply t state (P.Verifier.msg1_reply vsession))
+      match P.Verifier.msg1_reply vsession with
+      | Some m1 ->
+        (* The attester never saw msg1: answer from the session cache. *)
+        Metrics.incr t.metrics "retransmits_answered";
+        T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+          "verifier.retransmit_answered";
+        ignore (reply t state m1)
+      | None ->
+        (* Completed sessions are terminal: a late-duplicated msg0 gets
+           no reply — answering msg1 here would reopen the finished
+           handshake (the resurrection bug). Count it and stay put. *)
+        Metrics.incr t.metrics "stray_after_complete";
+        T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+          "verifier.stray_after_complete"
     end
     else begin
       let already = state.completed in
@@ -148,6 +161,13 @@ let handle_frame t state frame =
           T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id "verifier.accept"
         end;
         ignore (reply t state m3)
+      | Error _ when already ->
+        (* Anything that is not the byte-exact msg2 retransmit is stray
+           traffic against a terminal session: never aborts (the
+           completed appraisal stands), never answers. *)
+        Metrics.incr t.metrics "stray_after_complete";
+        T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+          "verifier.stray_after_complete"
       | Error e -> abort t state e
     end
 
@@ -189,6 +209,7 @@ let step t =
             if state.completed then drop_session t state "sessions_closed"
             else begin
               Metrics.incr t.metrics "sessions_evicted";
+              t.on_evict state.id;
               abort t state (P.Timed_out "verifier: session stalled")
             end
         | Watz_tz.Net.Closed_by_peer ->

@@ -55,11 +55,13 @@ let build_htab h =
 
 (* z <- z * H. The nibbles of z are consumed most-reduced-first while
    the product accumulates in scratch; z is only overwritten at the
-   end, so reading and accumulating never alias. *)
-let gmul_scratch = Array.make 4 0
+   end, so reading and accumulating never alias. The scratch block is
+   domain-local (fleet shards GHASH concurrently) and fetched once per
+   absorbed buffer, not per 16-byte block, so the hot loop still sees a
+   plain array. *)
+let gmul_scratch = Domain.DLS.new_key (fun () -> Array.make 4 0)
 
-let gmul (t : hkey) (z : int array) =
-  let zs = gmul_scratch in
+let gmul zs (t : hkey) (z : int array) =
   let d0 = 4 * (z.(3) land 0xf) in
   zs.(0) <- t.(d0);
   zs.(1) <- t.(d0 + 1);
@@ -82,6 +84,7 @@ let gmul (t : hkey) (z : int array) =
 (* Absorb a part as zero-padded 16-byte blocks, like the reference
    GHASH does per data part. *)
 let ghash_absorb t z s =
+  let zs = Domain.DLS.get gmul_scratch in
   let blocks = (String.length s + 15) / 16 in
   for i = 0 to blocks - 1 do
     let base = 16 * i in
@@ -89,7 +92,7 @@ let ghash_absorb t z s =
     z.(1) <- z.(1) lxor word_of s (base + 4);
     z.(2) <- z.(2) lxor word_of s (base + 8);
     z.(3) <- z.(3) lxor word_of s (base + 12);
-    gmul t z
+    gmul zs t z
   done
 
 let ghash t parts =

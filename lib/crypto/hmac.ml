@@ -24,11 +24,16 @@ let prepare k =
   Sha256.update_bytes octx pad 0 block_size;
   { ictx; octx }
 
-(* Single-threaded scratch, like Sha256's message schedule. *)
-let scratch = Sha256.init ()
-let inner = Bytes.create 32
+(* Domain-local scratch (fleet shards MAC concurrently), fetched once
+   per MAC; within a domain it behaves like Sha256's message
+   schedule — reused, never re-allocated. *)
+type scratch = { st : Sha256.ctx; inner : Bytes.t }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { st = Sha256.init (); inner = Bytes.create 32 })
 
 let mac key msg =
+  let { st = scratch; inner } = Domain.DLS.get scratch_key in
   Sha256.blit key.ictx scratch;
   Sha256.update scratch msg;
   Sha256.finalize_into scratch inner 0;

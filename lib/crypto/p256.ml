@@ -217,11 +217,18 @@ let mul k pt =
 
 (* Fixed-base comb: position j holds [1..15] * 16^j * G, affine. Built
    lazily (one-time ~5 ms) and batch-inverted in a single pass; after
-   that base_mul is at most 64 mixed additions and zero doublings. *)
-let comb = ref None
+   that base_mul is at most 64 mixed additions and zero doublings.
+
+   The cell is [Atomic] because the comb is the one lazy table shared
+   by every fleet domain: the atomic store publishes the fully-built
+   (and thereafter immutable) arrays, so a reader either sees [None]
+   and builds its own, or sees a complete comb. Concurrent builders
+   race benignly — the construction is deterministic, so whichever
+   store lands last publishes the same table the loser computed. *)
+let comb = Atomic.make None
 
 let get_comb () =
-  match !comb with
+  match Atomic.get comb with
   | Some c -> c
   | None ->
       let jrows = Array.make 64 [||] in
@@ -237,7 +244,7 @@ let get_comb () =
       let flat = Array.concat (Array.to_list jrows) in
       let affine = batch_to_affine flat in
       let c = Array.init 64 (fun j -> Array.sub affine (j * 15) 15) in
-      comb := Some c;
+      Atomic.set comb (Some c);
       c
 
 let base_mul k =

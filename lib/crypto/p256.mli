@@ -59,11 +59,21 @@ val prepare : point -> unit
 (** Precompute and memoize the point's window table so later {!mul} /
     {!double_mul} calls skip table setup. Idempotent; a no-op on the
     point at infinity. Long-lived verifier keys should be prepared
-    once and reused. *)
+    once and reused.
+
+    Domain ownership: the memo is an unsynchronised per-point cache, so
+    a point must not be mutated from two domains at once. Either keep
+    every point domain-private (the fleet constructs each shard's keys
+    inside the shard's domain) or fully [prepare]/[encode] shared
+    points before spawning — [Domain.spawn] publishes everything the
+    parent wrote. The generator's comb is the one cross-domain table
+    and is published atomically by {!prewarm}. *)
 
 val prewarm : unit -> unit
 (** Force the one-time lazy tables (the fixed-base comb for G) so a
-    server's first request does not pay their construction. *)
+    server's first request does not pay their construction. Safe to
+    call from any domain (atomic publication; concurrent builders race
+    benignly to identical tables). *)
 
 val equal : point -> point -> bool
 val on_curve : Bn.t -> Bn.t -> bool

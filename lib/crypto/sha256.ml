@@ -1468,28 +1468,34 @@ let finalize ctx =
   finalize_into ctx out 0;
   Bytes.unsafe_to_string out
 
-(* One-shot digests reuse a module-level context so the hot paths
+(* One-shot digests reuse a domain-local context so the hot paths
    (evidence hashing, HMAC inner/outer, module measurements) never
-   allocate per call. The runtime is single-threaded, matching the
-   scratch conventions elsewhere in this library. *)
-let oneshot = init ()
+   allocate per call. Domain-local rather than module-level because
+   fleet shards hash concurrently; each domain pays one context
+   allocation on its first digest, then the scratch conventions match
+   the rest of this library. *)
+let oneshot = Domain.DLS.new_key init
 
 let digest s =
-  reset oneshot;
-  update oneshot s;
-  finalize oneshot
+  let ctx = Domain.DLS.get oneshot in
+  reset ctx;
+  update ctx s;
+  finalize ctx
 
 let digest_into s dst pos =
-  reset oneshot;
-  update oneshot s;
-  finalize_into oneshot dst pos
+  let ctx = Domain.DLS.get oneshot in
+  reset ctx;
+  update ctx s;
+  finalize_into ctx dst pos
 
 let digest_bytes b pos len =
-  reset oneshot;
-  update_bytes oneshot b pos len;
-  finalize oneshot
+  let ctx = Domain.DLS.get oneshot in
+  reset ctx;
+  update_bytes ctx b pos len;
+  finalize ctx
 
 let digest_list parts =
-  reset oneshot;
-  List.iter (update oneshot) parts;
-  finalize oneshot
+  let ctx = Domain.DLS.get oneshot in
+  reset ctx;
+  List.iter (update ctx) parts;
+  finalize ctx

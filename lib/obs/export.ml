@@ -36,24 +36,53 @@ let pp_ts buf ts_ns =
   Buffer.add_char buf '.';
   Buffer.add_string buf (Printf.sprintf "%03d" (ts_ns mod 1000))
 
-let add_event buf (e : Trace.event) =
+(* [pid] carries the shard tag in fleet exports; single-board traces
+   keep the historical pid 1, so their bytes are unchanged. *)
+let add_event ?(pid = 1) buf (e : Trace.event) =
   let ph = match e.Trace.kind with Trace.Begin -> "B" | Trace.End -> "E" | Trace.Instant -> "i" in
   Buffer.add_string buf
-    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"watz\",\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":"
-       (escape e.Trace.name) ph (world_tid e.Trace.world));
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"watz\",\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":"
+       (escape e.Trace.name) ph pid (world_tid e.Trace.world));
   pp_ts buf e.Trace.ts_ns;
   if e.Trace.kind = Trace.Instant then Buffer.add_string buf ",\"s\":\"t\"";
   Buffer.add_string buf (Printf.sprintf ",\"args\":{\"session\":%d}}" e.Trace.session)
 
-let thread_meta buf =
+let thread_meta ?(pid = 1) buf =
   List.iter
     (fun w ->
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s \
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s \
             world\"}},\n"
-           (world_tid w) (Trace.world_name w)))
+           pid (world_tid w) (Trace.world_name w)))
     [ Trace.Normal; Trace.Secure; Trace.Monitor ]
+
+let process_meta buf ~pid ~name =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"%s\"}},\n"
+       pid (escape name))
+
+(** Render pid-tagged events as a complete Chrome-loadable JSON
+    document. [pids] names each process track up front (trace viewers
+    group threads under them); events carry their own pid so shards
+    stay visually separate after a merge. *)
+let chrome_of_tagged ~pids events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iter
+    (fun (pid, name) ->
+      process_meta buf ~pid ~name;
+      thread_meta ~pid buf)
+    pids;
+  let n = List.length events in
+  List.iteri
+    (fun i (pid, e) ->
+      add_event ~pid buf e;
+      if i < n - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
 
 (** Render events as a complete Chrome-loadable JSON document. *)
 let chrome_of_events events =

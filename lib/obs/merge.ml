@@ -1,0 +1,38 @@
+(* Shard-tagged merge of per-domain tracers and registries. See
+   merge.mli for the determinism contract. *)
+
+type shard = { shard_id : int; events : Trace.event list; dropped : int }
+
+let of_tracer ~shard_id tracer =
+  { shard_id; events = Trace.events tracer; dropped = Trace.dropped tracer }
+
+(* Tag each event with its shard, then stable-sort by (ts, shard).
+   Stability preserves each shard's recording order among equal
+   timestamps, giving one canonical interleaving. *)
+let interleave shards =
+  let tagged =
+    List.concat_map
+      (fun s -> List.map (fun e -> (s.shard_id, e)) s.events)
+      (List.sort (fun a b -> compare a.shard_id b.shard_id) shards)
+  in
+  List.stable_sort
+    (fun (ka, (a : Trace.event)) (kb, (b : Trace.event)) ->
+      match compare a.Trace.ts_ns b.Trace.ts_ns with 0 -> compare ka kb | c -> c)
+    tagged
+
+let total_dropped shards = List.fold_left (fun acc s -> acc + s.dropped) 0 shards
+
+let chrome_of_shards shards =
+  let shards = List.sort (fun a b -> compare a.shard_id b.shard_id) shards in
+  let pids =
+    List.map (fun s -> (s.shard_id + 1, Printf.sprintf "shard %d" s.shard_id)) shards
+  in
+  let events =
+    List.map (fun (k, e) -> (k + 1, e)) (interleave shards)
+  in
+  Export.chrome_of_tagged ~pids events
+
+let metrics regs =
+  let into = Metrics.create () in
+  List.iter (fun r -> Metrics.merge_into ~into r) regs;
+  into

@@ -1,0 +1,44 @@
+(** Merge-at-join for per-domain observability sinks.
+
+    Each fleet shard runs on its own domain with a private tracer and
+    metrics registry — recording paths never synchronise. At join time
+    the supervisor hands the per-shard sinks to this module, which
+    produces one shard-tagged event stream (Chrome [pid] = shard id + 1,
+    so viewers draw each simulated board as its own process) and one
+    merged registry.
+
+    Determinism contract: every merge here is a pure function of the
+    per-shard inputs, and ties are broken by shard id — so two runs
+    whose shards each produced byte-identical traces/metrics merge to
+    byte-identical outputs, independent of domain scheduling or join
+    order. *)
+
+(** One shard's trace contribution, captured after its domain joined. *)
+type shard = {
+  shard_id : int;  (** 0-based; exported as Chrome pid [shard_id + 1] *)
+  events : Trace.event list;  (** oldest first, as {!Trace.events} returns *)
+  dropped : int;  (** ring overwrites on this shard *)
+}
+
+(** Capture a shard's tracer into a {!shard} (reads [events] and
+    [dropped] once; safe only after the owning domain joined). *)
+val of_tracer : shard_id:int -> Trace.t -> shard
+
+(** Interleave shard event streams into one timeline, oldest first.
+    Ordering is total and deterministic: by timestamp, then shard id,
+    then each shard's own recording order. Returns [(shard_id, event)]
+    pairs. *)
+val interleave : shard list -> (int * Trace.event) list
+
+(** Events lost to ring overwrite across all shards. *)
+val total_dropped : shard list -> int
+
+(** Chrome trace_event document with one process track per shard
+    ([pid] = shard id + 1, named "shard N"); byte-deterministic given
+    the shard inputs. *)
+val chrome_of_shards : shard list -> string
+
+(** Merge per-shard registries into a fresh one (counters/gauges add,
+    histograms bucket-merge); the result is independent of the list
+    order. *)
+val metrics : Metrics.t list -> Metrics.t

@@ -70,8 +70,12 @@ module Histogram = struct
 
   let count t = t.count
   let sum t = t.sum
+
+  (* [vmin] holds a [max_int] sentinel (and [vmax] 0) until the first
+     record; both accessors guard on [count] so the sentinel can never
+     reach a caller and empty summaries read as all-zero. *)
   let min_value t = if t.count = 0 then 0 else t.vmin
-  let max_value t = t.vmax
+  let max_value t = if t.count = 0 then 0 else t.vmax
 
   let quantile t q =
     if t.count = 0 then 0.0
@@ -93,15 +97,24 @@ module Histogram = struct
       if v > float_of_int t.vmax then float_of_int t.vmax else v
     end
 
+  (* Accumulate [src] into [t]. Extremes are taken per-side only when
+     that side is non-empty, so an empty operand can never leak its
+     [max_int]/0 sentinels into the merged extremes. *)
+  let merge_into ~into:t src =
+    for i = 0 to n_buckets - 1 do
+      t.buckets.(i) <- t.buckets.(i) + src.buckets.(i)
+    done;
+    if src.count > 0 then begin
+      if src.vmin < t.vmin then t.vmin <- src.vmin;
+      if src.vmax > t.vmax then t.vmax <- src.vmax
+    end;
+    t.count <- t.count + src.count;
+    t.sum <- t.sum + src.sum
+
   let merge a b =
     let t = create () in
-    for i = 0 to n_buckets - 1 do
-      t.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
-    done;
-    t.count <- a.count + b.count;
-    t.sum <- a.sum + b.sum;
-    t.vmin <- min a.vmin b.vmin;
-    t.vmax <- max a.vmax b.vmax;
+    merge_into ~into:t a;
+    merge_into ~into:t b;
     t
 
   let equal a b =
@@ -133,7 +146,7 @@ module Histogram = struct
       sum = t.sum;
       mean = (if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count);
       min = min_value t;
-      max = t.vmax;
+      max = max_value t;
       p50 = quantile t 0.5;
       p95 = quantile t 0.95;
       p99 = quantile t 0.99;
@@ -204,3 +217,16 @@ let reset t =
       | G g -> Gauge.reset g
       | H h -> Histogram.reset h)
     t
+
+(* Fold [src] into [into], creating cells as needed: counters and
+   gauges add, histograms bucket-merge. Iteration order does not matter
+   because every combination is commutative, so merging N per-domain
+   registries in any order yields the same registry. *)
+let merge_into ~into (src : t) =
+  Hashtbl.iter
+    (fun name c ->
+      match c with
+      | C c -> Counter.add (counter into name) (Counter.get c)
+      | G g -> Gauge.add (gauge into name) (Gauge.get g)
+      | H h -> Histogram.merge_into ~into:(histogram into name) h)
+    src

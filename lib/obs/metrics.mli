@@ -45,12 +45,21 @@ module Histogram : sig
       empty. *)
   val quantile : t -> float -> float
 
+  (** Observed extremes; both are 0 while the histogram is empty (the
+      internal sentinels never escape, so empty summaries read
+      [min = max = 0] consistently). *)
   val min_value : t -> int
+
   val max_value : t -> int
 
   (** Elementwise-sum merge into a fresh histogram: associative,
-      commutative, and count-conserving. *)
+      commutative, count-conserving, and with {!create} as identity
+      (empty operands contribute nothing to the extremes). *)
   val merge : t -> t -> t
+
+  (** In-place accumulation, the per-shard form of {!merge}:
+      [merge_into ~into src] adds [src]'s buckets into [into]. *)
+  val merge_into : into:t -> t -> unit
 
   val equal : t -> t -> bool
   val reset : t -> unit
@@ -100,3 +109,11 @@ val histograms : t -> (string * Histogram.t) list
 
 (** Reset every metric in place (registrations survive). *)
 val reset : t -> unit
+
+(** Fold one registry into another, creating cells on demand: counters
+    and gauges add, histograms bucket-merge. Commutative per name, so
+    merging per-domain registries in any join order produces the same
+    merged registry (the fleet's determinism contract relies on this).
+    Raises [Invalid_argument] if a name is registered with different
+    kinds in the two registries. *)
+val merge_into : into:t -> t -> unit

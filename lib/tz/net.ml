@@ -90,6 +90,7 @@ and t = {
   mutable default_profile : fault_profile;
   mutable pipes : pipe list;
   faults : Watz_obs.Metrics.t; (* injected-fault counters, per fault family *)
+  mutable owner : int; (* id of the one domain allowed to drive this network *)
 }
 
 let create () =
@@ -99,7 +100,27 @@ let create () =
     default_profile = perfect;
     pipes = [];
     faults = Watz_obs.Metrics.create ();
+    owner = (Domain.self () :> int);
   }
+
+exception Wrong_domain of { owner : int; caller : int }
+
+(* Single-domain ownership, enforced: nothing in this module is
+   synchronised (streams, fault PRNG, counters), so a network and every
+   endpoint on it may only ever be driven by one domain. Each fleet
+   shard manufactures its own board — and therefore its own network —
+   inside its domain; the check turns any accidental sharing into an
+   immediate [Wrong_domain] instead of a silent seed-stream or
+   byte-stream corruption. *)
+let owner_check t =
+  let caller = (Domain.self () :> int) in
+  if t.owner <> caller then raise (Wrong_domain { owner = t.owner; caller })
+
+(** Transfer ownership of the network to the calling domain. Only legal
+    as an explicit handoff: the previous owner must have stopped
+    touching the network before the new domain starts (e.g. build a
+    board, then [adopt] it from the spawned domain before first use). *)
+let adopt t = t.owner <- (Domain.self () :> int)
 
 (** [configure t ~seed ~profile] reseeds the fault PRNG and sets the
     profile inherited by connections established afterwards. *)
@@ -124,17 +145,21 @@ exception Refused of int
 exception Peer_closed
 
 let listen t ~port =
+  owner_check t;
   if Hashtbl.mem t.listeners port then invalid_arg "Net.listen: port in use";
   let q = Queue.create () in
   Hashtbl.replace t.listeners port q;
   port
 
-let close_listener t ~port = Hashtbl.remove t.listeners port
+let close_listener t ~port =
+  owner_check t;
+  Hashtbl.remove t.listeners port
 
 (** [connect t ~port] establishes a connection to a listening port and
     returns the client-side endpoint; the server side is delivered via
     {!accept}. Raises {!Refused} if nothing listens. *)
 let connect t ~port =
+  owner_check t;
   match Hashtbl.find_opt t.listeners port with
   | None -> raise (Refused port)
   | Some q ->
@@ -160,6 +185,7 @@ let connect t ~port =
 (** [accept t ~port] is the next pending server-side endpoint, if a
     client connected since the last accept. *)
 let accept t ~port =
+  owner_check t;
   match Hashtbl.find_opt t.listeners port with
   | None -> None
   | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
@@ -187,6 +213,7 @@ let release_held pipe =
     count every pending delay down by one tick, deliver what became due,
     and forget pipes that can never carry bytes again. *)
 let tick t =
+  owner_check t;
   List.iter
     (fun pipe ->
       release_held pipe;
@@ -213,6 +240,7 @@ let kill_link conn =
   conn.rx.writer_closed <- true
 
 let send conn data =
+  owner_check conn.net;
   if !(conn.closed) then invalid_arg "Net.send: connection closed";
   if !(conn.peer) || !(conn.broken) then raise Peer_closed;
   let t = conn.net in
@@ -232,7 +260,11 @@ let send conn data =
   (* Every branch queues *whole* pieces of this send first; the reorder
      hold-back (a previous, complete segment) is released only after all
      of them, so held bytes can never interleave into the middle of a
-     chunked segment and the stream stays frame-coherent. *)
+     chunked segment and the stream stays frame-coherent. The one
+     exception is truncate-and-close, which releases the hold-back
+     first: the link dies right after the partial segment, and a
+     complete frame delivered after a partial one would be read as the
+     partial frame's continuation. *)
   let push seg = Queue.push seg conn.tx.pending in
   let queued =
     if chance rng p.drop_p then begin
@@ -249,10 +281,17 @@ let send conn data =
       in
       if String.length data > 1 && chance rng p.truncate_close_p then begin
         fault "truncate";
+        (* The truncated prefix is the last bytes this link ever
+           carries, so any reorder hold-back (an earlier, complete
+           segment) must travel *before* it: released after, its bytes
+           would follow the partial frame and be parsed as that frame's
+           missing tail — a garbage frame instead of a clean
+           connection loss. *)
+        release_held conn.tx;
         let keep = 1 + Watz_util.Prng.int rng (String.length data - 1) in
         push { delay = 0; data = String.sub data 0 keep };
         kill_link conn;
-        true
+        false (* the hold-back is already released; nothing further may follow *)
       end
       else if chance rng p.dup_p then begin
         fault "dup";
@@ -298,6 +337,7 @@ let available conn = Buffer.length conn.rx.dst.buf - conn.rx.dst.read_pos
     otherwise (no partial reads — the framing layer asks for exact
     sizes). *)
 let recv conn ~len =
+  owner_check conn.net;
   if available conn < len then None
   else begin
     let s = Buffer.sub conn.rx.dst.buf conn.rx.dst.read_pos len in
@@ -306,6 +346,7 @@ let recv conn ~len =
   end
 
 let close conn =
+  owner_check conn.net;
   conn.closed := true;
   conn.tx.writer_closed <- true
 
@@ -349,6 +390,7 @@ let at_eof conn =
     a wait state, end-of-stream, or a typed violation for an absurd
     length prefix (negative or beyond {!max_frame_len}). *)
 let recv_frame_ex conn =
+  owner_check conn.net;
   if available conn < 4 then if at_eof conn then Closed_by_peer else Awaiting
   else begin
     let peek = Buffer.sub conn.rx.dst.buf conn.rx.dst.read_pos 4 in

@@ -150,7 +150,74 @@ let test_version_downgrade () =
     (P.Verifier.handle_msg2 vsession ~random m2);
   Alcotest.(check bool) "nothing accepted" true (vsession.P.Verifier.accepted_evidence = None)
 
-(* 6 & 7. Transport-level adversaries across a whole storm: truncated
+(* 6. Completed-session resurrection (regression): once msg3 went out,
+   the session is terminal. A late-duplicated msg0 must no longer be
+   answered with the cached msg1 — replying would reopen the finished
+   handshake — while the byte-exact msg2 retransmit keeps its
+   idempotent msg3 answer. *)
+let test_completed_session_resurrection () =
+  let service, policy = setup () in
+  let attester, vsession, m2 = honest_msg2 service policy in
+  let m0 = P.Attester.msg0 attester in
+  (* In flight, the msg0 retransmit is served from the session cache. *)
+  Alcotest.(check bool) "retransmit recognised" true (P.Verifier.is_msg0_retransmit vsession m0);
+  (match P.Verifier.msg1_reply vsession with
+  | Some _ -> ()
+  | None -> Alcotest.fail "msg1 must be served while the session is in flight");
+  let m3 = Result.get_ok (P.Verifier.handle_msg2 vsession ~random m2) in
+  Alcotest.(check bool) "session completed" true (P.Verifier.completed vsession);
+  (* Terminal: the very same msg0 now gets no msg1. *)
+  Alcotest.(check bool) "retransmit still recognised" true
+    (P.Verifier.is_msg0_retransmit vsession m0);
+  (match P.Verifier.msg1_reply vsession with
+  | None -> ()
+  | Some _ -> Alcotest.fail "resurrection: msg1 served after completion");
+  (* ...but the msg2 retransmit still answers byte-identically. *)
+  match P.Verifier.handle_msg2 vsession ~random m2 with
+  | Ok m3' -> Alcotest.(check string) "idempotent msg3" m3 m3'
+  | Error e -> Alcotest.failf "msg2 retransmit rejected: %a" P.pp_error e
+
+(* 6b. The same attack against the live server: a duplicated msg0
+   arriving on the connection after the handshake finished must be
+   counted as stray and ignored — no msg1 on the wire, no abort, the
+   completed appraisal stands. *)
+let test_server_ignores_stray_msg0 () =
+  let soc = booted "stray-device" in
+  let service = Service.create (Soc.optee soc) in
+  let policy =
+    P.Verifier.make_policy ~identity_seed:"stray-verifier"
+      ~endorsed_keys:[ Service.public_key service ]
+      ~reference_claims:[ claim ] ~secret_blob:"the secret" ()
+  in
+  let port = 7200 in
+  let server = Watz.Verifier_app.start soc ~port ~policy in
+  let assoc name =
+    Option.value ~default:0 (List.assoc_opt name (Watz.Verifier_app.counters server))
+  in
+  (* Drive one honest handshake by hand over the simulated network. *)
+  let attester = P.Attester.create ~random ~expected_verifier:policy.P.Verifier.identity_pub () in
+  let conn = Net.connect soc.Soc.net ~port in
+  let m0 = P.Attester.msg0 attester in
+  Net.send_frame conn m0;
+  Watz.Verifier_app.step server;
+  let m1 = Option.get (Net.recv_frame conn) in
+  let anchor = Result.get_ok (P.Attester.handle_msg1 attester m1) in
+  let m2 = Result.get_ok (P.Attester.msg2 attester ~evidence:(issue service ~anchor)) in
+  Net.send_frame conn m2;
+  Watz.Verifier_app.step server;
+  (match P.Attester.handle_msg3 attester (Option.get (Net.recv_frame conn)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "honest handshake failed: %a" P.pp_error e);
+  Alcotest.(check int) "one completion" 1 (assoc "sessions_completed");
+  (* The late duplicate: byte-identical msg0 on the live connection. *)
+  Net.send_frame conn m0;
+  Watz.Verifier_app.step server;
+  Alcotest.(check (option string)) "no msg1 resurrection" None (Net.recv_frame conn);
+  Alcotest.(check int) "stray counted" 1 (assoc "stray_after_complete");
+  Alcotest.(check int) "nothing aborted" 0 (assoc "sessions_aborted");
+  Alcotest.(check int) "still one completion" 1 (assoc "sessions_completed")
+
+(* 7 & 8. Transport-level adversaries across a whole storm: truncated
    frames and a MITM flipping one byte per message. Zero sessions may
    complete, on either side; every abort must be a typed error. *)
 let storm_must_complete_nothing name profile seed =
@@ -185,6 +252,9 @@ let suite =
         case "evidence from an unendorsed device" test_evidence_from_other_device;
         case "tampered claim, original signature" test_tampered_claim;
         case "stale-version downgrade" test_version_downgrade;
+        case "msg0 replay after completion: protocol stays terminal"
+          test_completed_session_resurrection;
+        case "msg0 replay after completion: server counts it stray" test_server_ignores_stray_msg0;
         case "truncated frames: no session completes" test_truncated_frames;
         case "mitm byte flips: no session completes" test_mitm_flip;
       ] );

@@ -135,6 +135,25 @@ let test_truncate_close () =
   | exception Net.Peer_closed -> ()
   | () -> Alcotest.fail "send on a killed link must raise Peer_closed"
 
+(* Regression: a reorder hold-back pending when truncate-and-close
+   fires must travel *before* the truncated prefix. Released after it,
+   the held segment's bytes would be parsed as the partial frame's
+   missing tail — a garbage frame instead of a clean stream end. *)
+let test_truncate_releases_held_first () =
+  let _net, client, server = fresh_pair ~profile:{ Net.perfect with Net.reorder_p = 1.0 } () in
+  Net.send_frame client "held-frame";
+  (* Nothing delivered yet: the segment sits in the hold-back slot. *)
+  Alcotest.(check (option string)) "held back" None (Net.recv_frame server);
+  Net.set_profile client { Net.perfect with Net.truncate_close_p = 1.0 };
+  (try Net.send_frame client (String.make 64 'z') with Net.Peer_closed -> ());
+  (match Net.recv_frame_ex server with
+  | Net.Frame s -> Alcotest.(check string) "held frame intact, ahead of the prefix" "held-frame" s
+  | _ -> Alcotest.fail "held segment lost");
+  match Net.recv_frame_ex server with
+  | Net.Closed_by_peer -> ()
+  | Net.Frame _ -> Alcotest.fail "truncated prefix parsed as a frame"
+  | _ -> Alcotest.fail "expected Closed_by_peer after the truncated prefix"
+
 let test_corrupt_changes_bytes seed =
   let _net, client, server =
     fresh_pair ~seed ~profile:{ Net.perfect with Net.corrupt_p = 1.0 } ()
@@ -236,6 +255,118 @@ let prop_codec_roundtrip_chunked =
       done;
       List.rev !received = payloads)
 
+(* Truncate-and-close under arbitrary chunking and reordering: every
+   frame the receiver completes is byte-identical to a sent frame
+   (each matched at most once), and the stream ends in a typed
+   [Closed_by_peer] — never a fabricated frame, never a frame
+   violation (the fault cuts bytes, it does not rewrite them). *)
+let prop_truncate_is_clean_prefix =
+  QCheck.Test.make ~name:"truncate-close: sent frames or a typed end, never garbage" ~count:40
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 10) (string_of_size Gen.(2 -- 200)))
+        (pair (float_bound_exclusive 0.8) (float_bound_exclusive 0.5)))
+    (fun (payloads, (chunk_p, truncate_p)) ->
+      let profile =
+        {
+          Net.perfect with
+          Net.chunk_p;
+          reorder_p = 0.3;
+          truncate_close_p = max 0.05 truncate_p;
+        }
+      in
+      let net, client, server = fresh_pair ~seed:(subseed ()) ~profile () in
+      List.iter
+        (fun p -> try Net.send_frame client p with Net.Peer_closed -> ())
+        payloads;
+      let remove x l =
+        let rec go acc = function
+          | [] -> None
+          | y :: tl -> if String.equal x y then Some (List.rev_append acc tl) else go (y :: acc) tl
+        in
+        go [] l
+      in
+      let expected = ref payloads in
+      let ok = ref true and closed = ref false in
+      let budget = ref 300 in
+      while (not !closed) && !ok && !expected <> [] && !budget > 0 do
+        decr budget;
+        match Net.recv_frame_ex server with
+        | Net.Frame s -> (
+          match remove s !expected with
+          | Some rest -> expected := rest
+          | None -> ok := false (* fabricated or duplicated: the bug *))
+        | Net.Closed_by_peer -> closed := true
+        | Net.Frame_violation _ -> ok := false
+        | Net.Awaiting -> Net.tick net
+      done;
+      (* Either the link died mid-stream (remaining frames lost: fine)
+         or every frame arrived; [ok] rules out any garbage frame. *)
+      !ok && (!closed || !expected = []))
+
+(* --- retry backoff (regression: reset on phase advance) -------------- *)
+
+module Soc = Watz_tz.Soc
+module P = Watz_attest.Protocol
+module Service = Watz_attest.Service
+
+(* Starve the attester of msg1 so its deadline fires repeatedly: the
+   timeout must back off geometrically. Then deliver msg1 and assert
+   the phase advance resets the budget — a session that struggled
+   through the handshake must not enter appraisal with one foot in
+   Timed_out. Fully deterministic: perfect link, simulated clock. *)
+let test_backoff_resets_on_phase_advance () =
+  let soc = Soc.manufacture ~seed:"backoff-board" () in
+  (match Soc.boot soc with Ok _ -> () | Error _ -> Alcotest.fail "boot failed");
+  let service = Service.install (Soc.optee soc) in
+  let claim = Watz_crypto.Sha256.digest "backoff-app" in
+  let policy =
+    P.Verifier.make_policy ~identity_seed:"backoff-verifier"
+      ~endorsed_keys:[ Service.public_key service ]
+      ~reference_claims:[ claim ] ~secret_blob:"blob" ()
+  in
+  let port = 7300 in
+  let server = Watz.Verifier_app.start soc ~port ~policy in
+  let rng = Watz_util.Prng.create 0xbac0ffL in
+  let random n = Watz_util.Prng.bytes rng n in
+  let issue ~anchor =
+    Watz_attest.Evidence.encode (Service.issue_evidence service ~anchor ~claim)
+  in
+  let a =
+    App.start ~sid:1 soc ~port ~random ~expected_verifier:policy.P.Verifier.identity_pub ~issue
+  in
+  let r = App.default_retry in
+  Alcotest.(check int64) "starts at the initial timeout" r.App.initial_timeout_ns
+    a.App.timeout_ns;
+  (* The verifier never steps: each 50 ms jump is past any backed-off
+     deadline (initial 4 ms, x1.6 per retry), so exactly one deadline
+     fires per step. *)
+  let expected = ref r.App.initial_timeout_ns in
+  for k = 1 to 3 do
+    Watz_tz.Simclock.advance soc.Soc.clock 50_000_000;
+    App.step a;
+    expected := Int64.of_float (Int64.to_float !expected *. r.App.backoff);
+    Alcotest.(check int64)
+      (Printf.sprintf "timeout backed off after retry %d" k)
+      !expected a.App.timeout_ns
+  done;
+  Alcotest.(check int) "three retransmissions" 3 (App.retries a);
+  Alcotest.(check int) "retry budget spent" (r.App.max_retries - 3) a.App.retries_left;
+  (* Now let the verifier answer: msg1 arrives, msg2 goes out, the
+     phase advances - and the backoff state is fresh again. *)
+  Watz.Verifier_app.step server;
+  App.step a;
+  Alcotest.(check bool) "advanced to Await_msg3" true (a.App.phase = App.Await_msg3);
+  Alcotest.(check int64) "timeout reset to initial" r.App.initial_timeout_ns a.App.timeout_ns;
+  Alcotest.(check int) "retry budget restored" r.App.max_retries a.App.retries_left;
+  (* And the session still completes. *)
+  Watz.Verifier_app.step server;
+  App.step a;
+  match App.outcome a with
+  | App.Done _ -> ()
+  | App.Pending -> Alcotest.fail "session did not finish"
+  | App.Aborted e -> Alcotest.failf "session aborted: %a" P.pp_error e
+
 let prop_non_corrupting_profiles_converge =
   let gen =
     QCheck.Gen.(
@@ -290,6 +421,7 @@ let suite =
         case "reorder swaps whole segments" test_reorder;
         case "delay counts scheduler ticks" test_delay_ticks;
         case "truncate then close" test_truncate_close;
+        case "truncate releases the hold-back first" test_truncate_releases_held_first;
         seeded "corrupt flips payload bits" test_corrupt_changes_bytes;
         case "mitm observes and rewrites" test_mitm_observes_and_rewrites;
         seeded "fault schedule replays from seed" test_deterministic_replay;
@@ -298,7 +430,9 @@ let suite =
       [
         seeded "lossy profile, 32 sessions, >=99% complete" test_storm_lossy_completes;
         case "perfect profile completes without retries" test_storm_perfect_is_clean;
+        case "backoff resets on phase advance" test_backoff_resets_on_phase_advance;
         qcheck prop_codec_roundtrip_chunked;
+        qcheck prop_truncate_is_clean_prefix;
         qcheck prop_non_corrupting_profiles_converge;
       ] );
   ]

@@ -137,6 +137,74 @@ let qcheck_split_merge =
       and right = List.filteri (fun i _ -> i >= cut) vs in
       H.equal (of_list vs) (H.merge (of_list left) (of_list right)))
 
+(* Empty-operand laws (regression): the internal min/max sentinels of
+   an empty histogram must never leak through merges or summaries. *)
+let qcheck_merge_empty_identity =
+  QCheck.Test.make ~name:"histogram: empty is merge identity, extremes included" ~count:200
+    arbitrary_values (fun vs ->
+      let h = of_list vs in
+      let e = H.create () in
+      let l = H.merge e h and r = H.merge h e in
+      H.equal l h && H.equal r h
+      && H.min_value l = H.min_value h
+      && H.max_value l = H.max_value h
+      && H.min_value r = H.min_value h
+      && H.max_value r = H.max_value h)
+
+let test_empty_histogram_pinned () =
+  let h = H.create () in
+  Alcotest.(check int) "empty min reads 0" 0 (H.min_value h);
+  Alcotest.(check int) "empty max reads 0" 0 (H.max_value h);
+  let s = H.summarize h in
+  Alcotest.(check int) "summary min" 0 s.H.min;
+  Alcotest.(check int) "summary max" 0 s.H.max;
+  Alcotest.(check (float 0.0)) "summary p99" 0.0 s.H.p99;
+  (* Two empties merge to an empty, not to a sentinel artifact. *)
+  let m = H.merge h (H.create ()) in
+  Alcotest.(check int) "merged empty count" 0 (H.count m);
+  Alcotest.(check int) "merged empty min" 0 (H.min_value m);
+  Alcotest.(check int) "merged empty max" 0 (H.max_value m);
+  (* An empty operand leaves real extremes untouched. *)
+  H.record h 5;
+  H.merge_into ~into:h (H.create ());
+  Alcotest.(check int) "min survives empty merge" 5 (H.min_value h);
+  Alcotest.(check int) "max survives empty merge" 5 (H.max_value h)
+
+(* ------------------------------------------------------------------ *)
+(* Export wrap-around (regression): after the ring overwrites, the
+   exporter must emit exactly the surviving window, oldest first, and
+   the overwrites must be visible in [dropped] — never a stale or
+   reordered event from before the wrap. *)
+
+let test_export_wrap_golden () =
+  let now = ref 0L in
+  let cap = 8 and extra = 5 in
+  let t = T.create ~capacity:cap ~now:(fun () -> !now) () in
+  for k = 1 to cap + extra do
+    now := Int64.of_int (100 * k);
+    T.instant t T.Normal ~session:k "wrap.tick"
+  done;
+  Alcotest.(check int) "recorded" (cap + extra) (T.recorded t);
+  Alcotest.(check int) "dropped counts the overwrites" extra (T.dropped t);
+  let parsed = Export.parse_chrome (Export.trace_to_chrome t) in
+  Alcotest.(check (list int)) "export is the post-wrap window, oldest first"
+    [ 6; 7; 8; 9; 10; 11; 12; 13 ]
+    (List.map (fun (e : T.event) -> e.T.session) parsed);
+  let ts = List.map (fun (e : T.event) -> e.T.ts_ns) parsed in
+  Alcotest.(check (list int)) "timestamps strictly ascending" (List.sort_uniq compare ts) ts
+
+let test_zero_capacity_rejected () =
+  (* Capacity 0 is not a silent null tracer: it is a construction
+     error ([record] would divide by the capacity). The cap-0 use case
+     is [T.null], which stays disabled even through set_enabled. *)
+  (match T.create ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  T.set_enabled T.null true;
+  Alcotest.(check bool) "null tracer cannot be enabled" false (T.enabled T.null);
+  T.instant T.null T.Normal ~session:1 "ignored";
+  Alcotest.(check int) "null tracer records nothing" 0 (T.recorded T.null)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry *)
 
@@ -159,6 +227,34 @@ let test_registry () =
   Alcotest.(check (list (pair string int))) "reset keeps names, zeroes values"
     [ ("a", 0); ("b", 0) ]
     (M.counter_list r)
+
+(* Registry-level merge (the fleet's join step): counters and gauges
+   add, histograms bucket-merge, and the merged JSON dump is identical
+   whichever order the per-shard registries fold in. *)
+let test_registry_merge_join_order () =
+  let shard_a = M.create () and shard_b = M.create () in
+  M.add shard_a "sessions" 3;
+  M.add shard_b "sessions" 5;
+  M.add shard_b "only_b" 7;
+  M.Gauge.add (M.gauge shard_a "depth") 2;
+  M.Gauge.add (M.gauge shard_b "depth") 4;
+  M.observe shard_a "lat" 10;
+  M.observe shard_b "lat" 1000;
+  let ab = M.create () and ba = M.create () in
+  M.merge_into ~into:ab shard_a;
+  M.merge_into ~into:ab shard_b;
+  M.merge_into ~into:ba shard_b;
+  M.merge_into ~into:ba shard_a;
+  Alcotest.(check string) "join-order independent JSON" (Export.metrics_to_json ab)
+    (Export.metrics_to_json ba);
+  Alcotest.(check (list (pair string int))) "counters added"
+    [ ("only_b", 7); ("sessions", 8) ]
+    (M.counter_list ab);
+  Alcotest.(check int) "gauges added" 6 (M.Gauge.get (M.gauge ab "depth"));
+  let h = M.histogram ab "lat" in
+  Alcotest.(check int) "histogram merged" 2 (H.count h);
+  Alcotest.(check int) "min across shards" 10 (H.min_value h);
+  Alcotest.(check int) "max across shards" 1000 (H.max_value h)
 
 (* ------------------------------------------------------------------ *)
 (* Chrome exporter: parseable by our own reader, events preserved *)
@@ -343,10 +439,17 @@ let suite =
         q qcheck_merge_associative;
         q qcheck_count_conserved;
         q qcheck_split_merge;
+        q qcheck_merge_empty_identity;
+        case "empty histogram: no sentinel leaks" test_empty_histogram_pinned;
         case "registry counters and kinds" test_registry;
+        case "registry merge: join-order independent" test_registry_merge_join_order;
       ] );
     ( "obs.export",
-      [ case "chrome roundtrip" test_export_roundtrip ] );
+      [
+        case "chrome roundtrip" test_export_roundtrip;
+        case "export after ring wrap: window + dropped" test_export_wrap_golden;
+        case "capacity 0 rejected; null stays off" test_zero_capacity_rejected;
+      ] );
     ( "obs.determinism",
       [
         case "golden span sequence" test_golden_trace;
