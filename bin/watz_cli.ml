@@ -242,13 +242,29 @@ let attest_storm_cmd =
           ~doc:"Write the merged fleet metrics registry as flat JSON (byte-identical \
                 across fixed-seed runs). Requires $(b,--shards).")
   in
-  let run sessions seed profile_name smoke trace_file shards metrics_file =
-    match Watz.Storm.profile_named profile_name with
-    | None ->
+  let sched =
+    let names = String.concat ", " (List.map fst Watz.Storm.sched_modes) in
+    Arg.(
+      value & opt string "lockstep"
+      & info [ "sched" ] ~docv:"MODE"
+          ~doc:
+            (Printf.sprintf
+               "Session scheduler: %s. Both produce byte-identical metrics and traces at a \
+                fixed seed; $(b,fibers) parks idle sessions on an effects-based run queue \
+                instead of stepping every session every tick."
+               names))
+  in
+  let run sessions seed profile_name smoke trace_file shards metrics_file sched_name =
+    match (Watz.Storm.profile_named profile_name, Watz.Storm.sched_mode_named sched_name) with
+    | None, _ ->
       Printf.eprintf "unknown profile %S; known: %s\n" profile_name
         (String.concat ", " (List.map fst Watz.Storm.profiles));
       exit 2
-    | Some profile ->
+    | _, None ->
+      Printf.eprintf "unknown sched mode %S; known: %s\n" sched_name
+        (String.concat ", " (List.map fst Watz.Storm.sched_modes));
+      exit 2
+    | Some profile, Some sched ->
       let sessions = if smoke then min sessions 8 else sessions in
       (* Under non-tampering profiles, not completing is a failure. *)
       let tampering = List.mem profile_name [ "corrupt"; "truncate"; "mitm-flip" ] in
@@ -262,8 +278,9 @@ let attest_storm_cmd =
         let config =
           {
             Watz.Fleet.shards;
-            storm = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile };
+            storm = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile; sched };
             trace_capacity = (match trace_file with None -> 0 | Some _ -> 65536);
+            minor_heap_words = 0;
           }
         in
         let r = Watz.Fleet.run ~config () in
@@ -284,7 +301,7 @@ let attest_storm_cmd =
         check_rate (Watz.Fleet.completion_rate r)
       end
       else begin
-        let config = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile } in
+        let config = { Watz.Storm.default_config with Watz.Storm.sessions; seed; profile; sched } in
         let tracer =
           match trace_file with None -> None | Some _ -> Some (Watz_obs.Trace.create ())
         in
@@ -311,7 +328,8 @@ let attest_storm_cmd =
     (Cmd.info "attest-storm"
        ~doc:"Run many concurrent attestation sessions over a fault-injected network, \
              optionally as a domain-sharded verifier fleet ($(b,--shards))")
-    Term.(const run $ sessions $ seed $ profile $ smoke $ trace_file $ shards $ metrics_file)
+    Term.(
+      const run $ sessions $ seed $ profile $ smoke $ trace_file $ shards $ metrics_file $ sched)
 
 let verify_protocol_cmd =
   let run () =

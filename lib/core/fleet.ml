@@ -72,6 +72,23 @@ module Bqueue = struct
     Condition.signal t.not_empty;
     Mutex.unlock t.lock
 
+  (* Push a whole chunk under one lock round-trip: the common case is
+     one acquisition, one signal. Capacity is still respected per item;
+     when the ring fills mid-chunk the consumer is woken first so the
+     wait cannot deadlock on our own unsignalled items. *)
+  let push_chunk t xs =
+    Mutex.lock t.lock;
+    List.iter
+      (fun x ->
+        while Queue.length t.items >= t.capacity do
+          Condition.signal t.not_empty;
+          Condition.wait t.not_full t.lock
+        done;
+        Queue.push x t.items)
+      xs;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.lock
+
   (* A producer will push nothing further; once all have retired, [pop]
      drains the remainder and then returns [None]. *)
   let producer_done t =
@@ -95,6 +112,26 @@ module Bqueue = struct
     in
     Mutex.unlock t.lock;
     out
+
+  (* Drain everything currently queued under one lock round-trip (the
+     consumer-side half of the chunked protocol). [None] only once all
+     producers retired and the queue is empty. *)
+  let pop_chunk t =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.items && t.retired < t.producers do
+      Condition.wait t.not_empty t.lock
+    done;
+    let out =
+      if Queue.is_empty t.items then None
+      else begin
+        let xs = List.of_seq (Queue.to_seq t.items) in
+        Queue.clear t.items;
+        Condition.broadcast t.not_full;
+        Some xs
+      end
+    in
+    Mutex.unlock t.lock;
+    out
 end
 
 (* ------------------------------------------------------------------ *)
@@ -104,9 +141,18 @@ type config = {
   shards : int;
   storm : Storm.config; (* [storm.sessions] is the fleet-wide total *)
   trace_capacity : int; (* per-shard tracer ring; 0 leaves tracing off *)
+  minor_heap_words : int;
+      (* per-domain minor heap size ([Gc.set], in words) applied inside
+         each shard domain before its storm runs; 0 leaves the runtime
+         default untouched. The storm allocates mostly short-lived
+         frames and field elements, so a larger minor heap trades
+         promotion (shared major-heap work that serialises domains) for
+         per-domain minor collections. Wall-clock only — simulated
+         results are unaffected. *)
 }
 
-let default_config = { shards = 2; storm = Storm.default_config; trace_capacity = 0 }
+let default_config =
+  { shards = 2; storm = Storm.default_config; trace_capacity = 0; minor_heap_words = 0 }
 
 (* Per-shard seed: the issue's [seed xor shard_id]. Shards with equal
    derived seeds would replay each other's fault schedule; xor with the
@@ -134,6 +180,11 @@ let shard_config config k =
     observed. *)
 type event = { shard : int; ev : Storm.session_event }
 
+(** [Gc.quick_stat] deltas across one shard's (timed) run phase —
+    allocation pressure per shard, reported alongside the wall-clock
+    split so the bench can print words-per-session. *)
+type gc_delta = { minor_words : float; major_words : float; promoted_words : float }
+
 type report = {
   shards : int;
   sessions : int;
@@ -146,9 +197,18 @@ type report = {
   queue_aborted : int;
   evictions : int; (* verifier-side evictions reported over the queue *)
   per_shard : (int * Storm.report) list; (* ordered by shard id *)
-  metrics : Metrics.t; (* merged registry: fleet.* / server.* / net.* / phase.* *)
+  metrics : Metrics.t; (* merged registry: fleet.* / server.* / net.* / phase.* / sched.* *)
   phases : (string * Histogram.summary) list; (* merged across shards *)
   trace : Merge.shard list; (* per-shard traces; [] when tracing is off *)
+  setup_wall_s : float;
+      (* wall-clock from fleet start until every shard finished
+         [Storm.prepare] (board manufacture, service install, policy /
+         key generation) and reached the start barrier *)
+  run_wall_s : float;
+      (* wall-clock from the barrier release until the last shard
+         finished its tick loop — the number scaling studies should
+         use; setup is reported, not mixed in *)
+  gc_per_shard : (int * gc_delta) list; (* ordered by shard id; run phase only *)
 }
 
 let completion_rate r =
@@ -172,12 +232,27 @@ let merged_metrics ~shards reports =
       List.iter (fun (name, v) -> Metrics.add reg ("net." ^ name) v) r.Storm.faults;
       List.iter
         (fun (name, h) -> Histogram.merge_into ~into:(Metrics.histogram reg ("phase." ^ name)) h)
-        r.Storm.phase_hists)
+        r.Storm.phase_hists;
+      Histogram.merge_into ~into:(Metrics.histogram reg "sched.runq_depth") r.Storm.runq_hist;
+      List.iter
+        (fun (name, h) -> Histogram.merge_into ~into:(Metrics.histogram reg ("server." ^ name)) h)
+        r.Storm.server_hists)
     reports;
   reg
 
 (* ------------------------------------------------------------------ *)
 (* The supervisor *)
+
+(* Start barrier: shards build their boards ([Storm.prepare]), check in
+   as ready, and block until the supervisor — having seen every shard
+   ready — releases them all at once. Separates setup wall-clock from
+   run wall-clock, and starts the timed region with every domain warm. *)
+type gate = {
+  g_lock : Mutex.t;
+  g_cond : Condition.t;
+  mutable g_ready : int;
+  mutable g_go : bool;
+}
 
 (** Run the fleet: spawn one domain per shard, each simulating its
     board to completion, while this domain drains the event queue;
@@ -189,28 +264,86 @@ let run ?(config = default_config) () =
     invalid_arg "Fleet.run: fewer sessions than shards";
   let n = config.shards in
   let q : event Bqueue.t = Bqueue.create ~capacity:64 ~producers:n in
+  let gate = { g_lock = Mutex.create (); g_cond = Condition.create (); g_ready = 0; g_go = false } in
+  let check_in_and_wait () =
+    Mutex.lock gate.g_lock;
+    gate.g_ready <- gate.g_ready + 1;
+    Condition.broadcast gate.g_cond;
+    while not gate.g_go do
+      Condition.wait gate.g_cond gate.g_lock
+    done;
+    Mutex.unlock gate.g_lock
+  in
+  let t_start = Unix.gettimeofday () in
   let spawn k =
     Domain.spawn (fun () ->
         (* Everything the shard touches — board, network, tracer,
            crypto key objects — is constructed here, inside the shard's
            domain, so nothing mutable is ever shared (Net enforces its
            side with a Wrong_domain check). *)
+        if config.minor_heap_words > 0 then
+          Gc.set { (Gc.get ()) with Gc.minor_heap_size = config.minor_heap_words };
         let tracer =
           if config.trace_capacity > 0 then Some (Trace.create ~capacity:config.trace_capacity ())
           else None
         in
         let storm_config = shard_config config k in
-        let report =
-          Fun.protect
-            ~finally:(fun () -> Bqueue.producer_done q)
-            (fun () ->
-              Storm.run ~config:storm_config ?tracer
-                ~notify:(fun ev -> Bqueue.push q { shard = k; ev })
-                ())
+        (* Termination events are buffered shard-side and flushed in
+           chunks: one queue lock round-trip per chunk instead of per
+           session, keeping the supervisor queue off the hot path. *)
+        let buffer = ref [] in
+        let buffered = ref 0 in
+        let flush () =
+          match List.rev !buffer with
+          | [] -> ()
+          | chunk ->
+            buffer := [];
+            buffered := 0;
+            Bqueue.push_chunk q chunk
         in
-        (k, report, Option.map (Merge.of_tracer ~shard_id:k) tracer))
+        let notify ev =
+          buffer := { shard = k; ev } :: !buffer;
+          incr buffered;
+          if !buffered >= 32 then flush ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Bqueue.producer_done q)
+          (fun () ->
+            (* If prepare dies the shard must still check in, or the
+               supervisor and the other shards deadlock on the gate. *)
+            let prep =
+              match Storm.prepare ~config:storm_config ?tracer ~notify () with
+              | p -> Ok p
+              | exception e -> Error e
+            in
+            check_in_and_wait ();
+            match prep with
+            | Error e -> raise e
+            | Ok prep ->
+              let g0 = Gc.quick_stat () in
+              let report = Storm.run_prepared prep in
+              let g1 = Gc.quick_stat () in
+              flush ();
+              let gc =
+                {
+                  minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+                  major_words = g1.Gc.major_words -. g0.Gc.major_words;
+                  promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+                }
+              in
+              (k, report, gc, Option.map (Merge.of_tracer ~shard_id:k) tracer)))
   in
   let domains = List.init n spawn in
+  (* Release the barrier once every shard has built its board; the
+     setup/run wall-clock split pivots here. *)
+  Mutex.lock gate.g_lock;
+  while gate.g_ready < n do
+    Condition.wait gate.g_cond gate.g_lock
+  done;
+  let t_ready = Unix.gettimeofday () in
+  gate.g_go <- true;
+  Condition.broadcast gate.g_cond;
+  Mutex.unlock gate.g_lock;
   (* Drain until every shard retired: the queue is bounded, so the
      supervisor must consume while the shards run, not after. *)
   let queue_events = ref 0
@@ -218,22 +351,26 @@ let run ?(config = default_config) () =
   and queue_aborted = ref 0
   and evictions = ref 0 in
   let rec drain () =
-    match Bqueue.pop q with
+    match Bqueue.pop_chunk q with
     | None -> ()
-    | Some { ev; _ } ->
-      incr queue_events;
-      (match ev with
-      | Storm.Session_done _ -> incr queue_done
-      | Storm.Session_aborted _ -> incr queue_aborted
-      | Storm.Session_evicted _ -> incr evictions);
+    | Some chunk ->
+      List.iter
+        (fun { ev; _ } ->
+          incr queue_events;
+          match ev with
+          | Storm.Session_done _ -> incr queue_done
+          | Storm.Session_aborted _ -> incr queue_aborted
+          | Storm.Session_evicted _ -> incr evictions)
+        chunk;
       drain ()
   in
   drain ();
   let results =
     List.map Domain.join domains
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
   in
-  let reports = List.map (fun (_, r, _) -> r) results in
+  let t_end = Unix.gettimeofday () in
+  let reports = List.map (fun (_, r, _, _) -> r) results in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
   let phases_reg = merged_metrics ~shards:n reports in
   let merged_phases =
@@ -256,10 +393,13 @@ let run ?(config = default_config) () =
     queue_done = !queue_done;
     queue_aborted = !queue_aborted;
     evictions = !evictions;
-    per_shard = List.map (fun (k, r, _) -> (k, r)) results;
+    per_shard = List.map (fun (k, r, _, _) -> (k, r)) results;
     metrics = phases_reg;
     phases = merged_phases;
-    trace = List.filter_map (fun (_, _, t) -> t) results;
+    trace = List.filter_map (fun (_, _, _, t) -> t) results;
+    setup_wall_s = t_ready -. t_start;
+    run_wall_s = t_end -. t_ready;
+    gc_per_shard = List.map (fun (k, _, gc, _) -> (k, gc)) results;
   }
 
 (** The merged registry as canonical flat JSON (the byte-identity
@@ -277,6 +417,7 @@ let pp_report ppf r =
     r.aborted r.retries r.ticks;
   Format.fprintf ppf "@\n  queue: %d events (%d done, %d aborted, %d evictions)" r.queue_events
     r.queue_done r.queue_aborted r.evictions;
+  Format.fprintf ppf "@\n  wall: setup %.3fs | run %.3fs" r.setup_wall_s r.run_wall_s;
   List.iter
     (fun (name, (h : Histogram.summary)) ->
       Format.fprintf ppf "@\n  phase %-9s p50 %a | p95 %a | p99 %a" name Watz_util.Stats.pp_ns

@@ -1,0 +1,129 @@
+(** Effects-based cooperative session scheduler: one fiber per
+    attestation session, multiplexed over the shard's simulated board.
+
+    The lock-step storm loop steps {e every} launched session once per
+    tick — sessions that are long terminal, or merely waiting for bytes
+    that have not arrived, all pay a call. This scheduler keeps only
+    live fibers and wakes a blocked one exactly when its wait condition
+    can observe something: {!await_frame} parks the fiber until its
+    connection has a complete frame (or stream end / violation — see
+    {!Watz_tz.Net.frame_ready}) or its retransmission deadline expires
+    on the {e simulated} clock.
+
+    Determinism contract (DESIGN.md §9): no wall-clock anywhere; the
+    run queue is ordered by fiber id (the attester session id), wake
+    conditions are evaluated against the simulated board only, and
+    {!run_tick} resumes each due fiber at most once per tick in
+    ascending id order — exactly the order the lock-step loop steps
+    sessions. A fixed-seed storm therefore performs the identical
+    sequence of observable actions (sends, protocol calls, clock
+    charges) under either scheduler, which is what makes the two
+    [--sched] modes byte-identical in their merged metrics and trace
+    (pinned by [test_fleet.ml]).
+
+    Effects use [Effect.Deep]: the handler installed when a fiber first
+    runs is captured inside its continuation, so resuming after a park
+    re-enters the same handler. Continuations are one-shot and the
+    scheduler is single-domain (each fleet shard owns one). *)
+
+type _ Effect.t +=
+  | Await_tick : unit Effect.t
+  | Await_frame : { ready : unit -> bool; deadline_ns : int64 } -> unit Effect.t
+
+(** Park until the next tick. *)
+let await_tick () = Effect.perform Await_tick
+
+(** Park until [ready ()] holds or the simulated clock reaches
+    [deadline_ns], whichever a tick observes first. [ready] must be an
+    observation-free poll (it may run any number of times). *)
+let await_frame ~ready ~deadline_ns = Effect.perform (Await_frame { ready; deadline_ns })
+
+type park =
+  | Runnable (* freshly spawned or woken by [Await_tick] *)
+  | Waiting of { ready : unit -> bool; deadline_ns : int64 }
+  | Finished
+
+type resume = Not_started of (unit -> unit) | Paused of (unit, unit) Effect.Deep.continuation
+
+type fiber = { fid : int; mutable park : park; mutable resume : resume option }
+
+type t = {
+  now : unit -> int64; (* the shard's simulated clock *)
+  mutable fibers : fiber list; (* descending spawn order; reversed per tick *)
+  mutable live : int;
+  mutable peak_live : int;
+}
+
+let create ~now () = { now; fibers = []; live = 0; peak_live = 0 }
+
+(** Register a fiber. [body] does not run yet: it is first resumed by
+    the next {!run_tick}, so a session launched at the top of a tick is
+    stepped at the same point of the tick as under the lock-step loop.
+    Ids must be unique and spawned in ascending order (the storm's
+    launch order is). *)
+let spawn t ~fid body =
+  t.fibers <- { fid; park = Runnable; resume = Some (Not_started body) } :: t.fibers;
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live
+
+let live t = t.live
+let peak_live t = t.peak_live
+
+let handler t f =
+  {
+    Effect.Deep.retc =
+      (fun () ->
+        f.park <- Finished;
+        t.live <- t.live - 1);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Await_tick ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              f.park <- Runnable;
+              f.resume <- Some (Paused k))
+        | Await_frame { ready; deadline_ns } ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              f.park <- Waiting { ready; deadline_ns };
+              f.resume <- Some (Paused k))
+        | _ -> None);
+  }
+
+let resume_fiber t f =
+  match f.resume with
+  | None -> ()
+  | Some r -> (
+    f.resume <- None;
+    match r with
+    | Not_started body -> Effect.Deep.match_with body () (handler t f)
+    | Paused k -> Effect.Deep.continue k ())
+
+(** One scheduling quantum: walk the fibers in ascending fiber id and
+    resume each due one — runnable, or waiting with [ready ()] true or
+    the deadline reached. Each wake condition is evaluated at the
+    fiber's turn, not against a start-of-tick snapshot: protocol work
+    charges the simulated clock mid-tick (every [Soc.smc] call does),
+    so a session stepped later in the tick can see a deadline that
+    crossed because of an earlier session's charges — exactly what the
+    lock-step loop's per-session deadline check observes. A fiber that
+    is not resumed charges nothing, matching the lock-step no-op step.
+    Finished fibers are dropped from the registry. *)
+let run_tick t =
+  let fibers = List.sort (fun a b -> compare a.fid b.fid) t.fibers in
+  List.iter
+    (fun f ->
+      let due =
+        match f.park with
+        | Runnable -> true
+        | Waiting { ready; deadline_ns } ->
+          ready () || Int64.compare (t.now ()) deadline_ns >= 0
+        | Finished -> false
+      in
+      if due then resume_fiber t f)
+    fibers;
+  let finished f = match f.park with Finished -> true | _ -> false in
+  if List.exists finished t.fibers then
+    t.fibers <- List.filter (fun f -> not (finished f)) t.fibers

@@ -16,6 +16,20 @@ module Soc = Watz_tz.Soc
 module Stats = Watz_util.Stats
 module Histogram = Watz_obs.Metrics.Histogram
 
+(** How attester sessions are multiplexed over the tick loop.
+    [Lockstep] is the naive baseline: every launched session is stepped
+    once per tick, terminal or not. [Fibers] runs each session as an
+    effects-based {!Sched} fiber that parks between frames and is woken
+    by frame arrival or its retransmission deadline — only live, due
+    sessions pay a call. Both modes step due sessions in ascending sid
+    order at the same point of the tick, so a fixed seed produces
+    byte-identical metrics and traces under either. *)
+type sched_mode = Lockstep | Fibers
+
+let sched_modes = [ ("lockstep", Lockstep); ("fibers", Fibers) ]
+let sched_mode_named name = List.assoc_opt name sched_modes
+let sched_mode_name m = fst (List.find (fun (_, v) -> v = m) sched_modes)
+
 type config = {
   sessions : int; (* concurrent attesters *)
   seed : int64; (* fault-layer PRNG seed; log it, replay it *)
@@ -30,6 +44,7 @@ type config = {
          runs [first_sid = k + 1; sid_stride = N]: sessions are sharded
          by attester id (sid mod N picks the shard) and ids stay
          globally unique across the merged trace. *)
+  sched : sched_mode;
 }
 
 let default_config =
@@ -43,6 +58,7 @@ let default_config =
     max_ticks = 20_000;
     first_sid = 1;
     sid_stride = 1;
+    sched = Lockstep;
   }
 
 (* Flip the first payload byte of every segment, leaving the length
@@ -92,6 +108,13 @@ type report = {
       (* the same three distributions as mergeable histograms (present
          even when empty) — the fleet merges them across shards with
          [Histogram.merge_into] before summarising *)
+  runq_hist : Histogram.t;
+      (* run-queue depth (launched minus terminated sessions), sampled
+         once per tick after the launch phase — identical in both sched
+         modes; the fleet merges it as "sched.runq_depth" *)
+  server_hists : (string * Histogram.t) list;
+      (* verifier-side histograms, e.g. the batch-verify size
+         distribution "verify_batch_size"; merged as "server.<name>" *)
 }
 
 (** Per-session terminations, streamed while the storm runs: the fleet
@@ -107,11 +130,27 @@ type session_event =
 let completion_rate r =
   if r.sessions = 0 then 1.0 else float_of_int r.completed /. float_of_int r.sessions
 
-(** Run one storm. The whole schedule is a pure function of
-    [config.seed]: a failing run replays exactly from its seed.
-    [notify] observes each session termination as it happens (fleet
-    shards stream these to the supervisor). *)
-let run ?(config = default_config) ?tracer ?(notify = fun (_ : session_event) -> ()) () =
+(** A storm whose board is built but whose tick loop has not started:
+    the split lets the fleet (and the bench) construct every shard's
+    board, service and policy — ECDSA key generation included — outside
+    the timed region, then start all shards from a barrier. *)
+type prepared = {
+  p_config : config;
+  p_soc : Soc.t;
+  p_server : Verifier_app.t;
+  p_expected_verifier : Watz_crypto.Ecdsa.public_key;
+  p_issue : anchor:string -> string;
+  p_random : int -> string;
+  p_port : int;
+  p_notify : session_event -> unit;
+}
+
+(** Build the simulated board, install the attestation service, derive
+    the verifier policy and start the listener — everything up to (but
+    not including) the first tick. [notify] observes each session
+    termination as it happens (fleet shards stream these to the
+    supervisor). *)
+let prepare ?(config = default_config) ?tracer ?(notify = fun (_ : session_event) -> ()) () =
   let soc = Soc.manufacture ~seed:"storm-board" () in
   (* Attach before boot so the secure-boot and CAAM spans are traced. *)
   (match tracer with Some trace -> Soc.attach_tracer soc trace | None -> ());
@@ -139,27 +178,88 @@ let run ?(config = default_config) ?tracer ?(notify = fun (_ : session_event) ->
         Watz_attest.Evidence.encode (Watz_attest.Service.issue_evidence service ~anchor ~claim))
   in
   let crypto_rng = Watz_util.Prng.create (Int64.logxor config.seed 0x5e55104aL) in
-  let random n = Watz_util.Prng.bytes crypto_rng n in
+  {
+    p_config = config;
+    p_soc = soc;
+    p_server = server;
+    p_expected_verifier = policy.P.Verifier.identity_pub;
+    p_issue = issue;
+    p_random = (fun n -> Watz_util.Prng.bytes crypto_rng n);
+    p_port = port;
+    p_notify = notify;
+  }
+
+(** Drive a prepared storm to completion. The whole schedule is a pure
+    function of [config.seed]: a failing run replays exactly from its
+    seed, in either sched mode. *)
+let run_prepared p =
+  let config = p.p_config and soc = p.p_soc and notify = p.p_notify in
+  let scheduler =
+    match config.sched with
+    | Lockstep -> None
+    | Fibers -> Some (Sched.create ~now:(fun () -> Soc.now_ns soc) ())
+  in
+  (* Prepend order: [List.rev] recovers ascending-sid order wherever
+     stepping or event order is observable. *)
   let attesters = ref [] in
   let launched = ref 0 in
+  let terminated = ref 0 in
+  let runq_hist = Histogram.create () in
+  let notify_termination (a : Attester_app.t) =
+    incr terminated;
+    match Attester_app.outcome a with
+    | Attester_app.Pending -> assert false
+    | Attester_app.Done _ ->
+      notify
+        (Session_done
+           {
+             sid = a.Attester_app.sid;
+             latency_ns = Int64.sub (Attester_app.finished_ns a) (Attester_app.started_ns a);
+             retries = Attester_app.retries a;
+           })
+    | Attester_app.Aborted e ->
+      notify (Session_aborted { sid = a.Attester_app.sid; reason = Format.asprintf "%a" P.pp_error e })
+  in
   let launch () =
     let n = min config.stagger (config.sessions - !launched) in
     for _ = 1 to n do
       let sid = config.first_sid + (!launched * config.sid_stride) in
       incr launched;
       let a =
-        Attester_app.start ~retry:config.retry ~sid soc ~port ~random
-          ~expected_verifier:policy.P.Verifier.identity_pub ~issue
+        Attester_app.start ~retry:config.retry ~sid soc ~port:p.p_port ~random:p.p_random
+          ~expected_verifier:p.p_expected_verifier ~issue:p.p_issue
       in
-      attesters := a :: !attesters
+      attesters := a :: !attesters;
+      match scheduler with
+      | None -> ()
+      | Some sched ->
+        (* The body first runs inside the next [Sched.run_tick], i.e. at
+           the same point of the tick where lock-step steps sessions. *)
+        Sched.spawn sched ~fid:sid (fun () ->
+            let rec loop () =
+              Attester_app.step a;
+              match Attester_app.outcome a with
+              | Attester_app.Pending ->
+                Sched.await_frame
+                  ~ready:(fun () -> Net.frame_ready a.Attester_app.conn)
+                  ~deadline_ns:a.Attester_app.deadline_ns;
+                loop ()
+              | _ -> notify_termination a
+            in
+            loop ())
     done
   in
   let all_terminal () =
     !launched = config.sessions
-    && List.for_all (fun a -> Attester_app.outcome a <> Attester_app.Pending) !attesters
+    &&
+    match scheduler with
+    | Some sched -> Sched.live sched = 0
+    | None ->
+      List.for_all (fun a -> Attester_app.outcome a <> Attester_app.Pending) !attesters
   in
-  (* Sessions whose termination has already been streamed to [notify];
-     scanned after each tick so events fire the tick they happen. *)
+  (* Lock-step only: sessions whose termination has already been
+     streamed to [notify]; scanned after each tick so events fire the
+     tick they happen (fibers notify from the fiber body instead). *)
   let reported = Hashtbl.create 16 in
   let stream_terminations () =
     List.iter
@@ -167,31 +267,23 @@ let run ?(config = default_config) ?tracer ?(notify = fun (_ : session_event) ->
         if not (Hashtbl.mem reported a.Attester_app.sid) then
           match Attester_app.outcome a with
           | Attester_app.Pending -> ()
-          | Attester_app.Done _ ->
+          | Attester_app.Done _ | Attester_app.Aborted _ ->
             Hashtbl.replace reported a.Attester_app.sid ();
-            notify
-              (Session_done
-                 {
-                   sid = a.Attester_app.sid;
-                   latency_ns =
-                     Int64.sub (Attester_app.finished_ns a) (Attester_app.started_ns a);
-                   retries = Attester_app.retries a;
-                 })
-          | Attester_app.Aborted e ->
-            Hashtbl.replace reported a.Attester_app.sid ();
-            notify
-              (Session_aborted
-                 { sid = a.Attester_app.sid; reason = Format.asprintf "%a" P.pp_error e }))
-      !attesters
+            notify_termination a)
+      (List.rev !attesters)
   in
   let ticks = ref 0 in
   while (not (all_terminal ())) && !ticks < config.max_ticks do
     incr ticks;
     launch ();
+    Histogram.record runq_hist (!launched - !terminated);
     Net.tick soc.Soc.net;
-    Verifier_app.step server;
-    List.iter Attester_app.step !attesters;
-    stream_terminations ();
+    Verifier_app.step p.p_server;
+    (match scheduler with
+    | None ->
+      List.iter Attester_app.step (List.rev !attesters);
+      stream_terminations ()
+    | Some sched -> Sched.run_tick sched);
     Watz_tz.Simclock.advance soc.Soc.clock config.quantum_ns
   done;
   (* Sessions still pending at the hard stop count as aborted. *)
@@ -255,12 +347,17 @@ let run ?(config = default_config) ?tracer ?(notify = fun (_ : session_event) ->
     retries = List.fold_left (fun acc (a, _) -> acc + Attester_app.retries a) 0 outcomes;
     ticks = !ticks;
     faults = Net.fault_counts soc.Soc.net;
-    server = Verifier_app.counters server;
+    server = Verifier_app.counters p.p_server;
     aborts;
     latency = (match latencies with [] -> None | l -> Some (Stats.summarize (Array.of_list l)));
     phases;
     phase_hists;
+    runq_hist;
+    server_hists = Verifier_app.histograms p.p_server;
   }
+
+(** Run one storm: {!prepare} then {!run_prepared}. *)
+let run ?config ?tracer ?notify () = run_prepared (prepare ?config ?tracer ?notify ())
 
 let pp_report ppf r =
   Format.fprintf ppf "sessions %d | completed %d (%.1f%%) | aborted %d | retries %d | ticks %d"

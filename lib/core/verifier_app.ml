@@ -41,6 +41,7 @@ type t = {
   sessions : (int, conn_state) Hashtbl.t;
   mutable next_id : int;
   session_timeout_ns : int64;
+  batch_verify : bool; (* settle msg2 evidence signatures in batches *)
   metrics : Metrics.t; (* server-side counters, dumped by the storm report *)
   on_evict : int -> unit; (* observer for evicted session ids *)
   mutable served : int; (* completed attestations *)
@@ -48,19 +49,41 @@ type t = {
   mutable last_err : P.error option;
 }
 
+(* One deferred msg2 appraisal: everything [step] needs to settle the
+   evidence-signature check later and then finish the appraisal with
+   the precomputed verdict. *)
+type pending = {
+  p_state : conn_state;
+  p_vsession : P.Verifier.session;
+  p_frame : string;
+  p_key : Watz_crypto.P256.point;
+  p_msg : string;
+  p_sig : string;
+}
+
 (** Start listening. [soc] is the device hosting the verifier (the
     paper co-locates attester and verifier on one board). Stalled
     sessions are evicted after [session_timeout_ns] of simulated-clock
     inactivity (default 2 s); [on_evict] observes each eviction with
     the server-side session id (the fleet forwards these to its
-    supervisor queue). *)
-let start ?(session_timeout_ns = 2_000_000_000L) ?(on_evict = fun _ -> ()) soc ~port ~policy =
+    supervisor queue).
+
+    With [batch_verify] (the default), each [step] collects the pending
+    msg2 evidence-signature checks across every session in the pass and
+    settles them through {!Watz_crypto.Ecdsa.verify_batch}, amortising
+    the endorsed keys' point precomputation and the scalar/field
+    inversions across sessions. The batch settle is simulated-time
+    neutral: world transitions and spans per appraisal are unchanged,
+    only wall-clock work shrinks. *)
+let start ?(session_timeout_ns = 2_000_000_000L) ?(batch_verify = true) ?(on_evict = fun _ -> ())
+    soc ~port ~policy =
   ignore (Watz_tz.Net.listen soc.Watz_tz.Soc.net ~port);
   (* Pay the one-time crypto table costs (fixed-base comb, endorsed-key
-     windows, identity encoding) at startup, not inside the first
-     session's latency. *)
+     windows and combs, identity encoding) at startup, not inside the
+     first session's latency. *)
   Watz_crypto.P256.prewarm ();
   List.iter Watz_crypto.P256.prepare policy.P.Verifier.endorsed_keys;
+  if batch_verify then List.iter Watz_crypto.P256.prepare_comb policy.P.Verifier.endorsed_keys;
   ignore (Watz_crypto.P256.encode policy.P.Verifier.identity_pub);
   {
     soc;
@@ -70,6 +93,7 @@ let start ?(session_timeout_ns = 2_000_000_000L) ?(on_evict = fun _ -> ()) soc ~
     sessions = Hashtbl.create 32;
     next_id = 0;
     session_timeout_ns;
+    batch_verify;
     on_evict;
     metrics = Metrics.create ();
     served = 0;
@@ -81,6 +105,10 @@ let random t n = Watz_util.Prng.bytes t.rng n
 
 (** Counter values, sorted by name (the storm report's "server" rows). *)
 let counters t = Metrics.counter_list t.metrics
+
+(** Histogram snapshots, sorted by name (e.g. the batch-verify size
+    distribution [verify_batch_size]). *)
+let histograms t = Metrics.histograms t.metrics
 
 (** The server's metrics registry, for exporters that want more than
     the counter list. *)
@@ -110,6 +138,33 @@ let reply t state frame =
     if state.completed then drop_session t state "sessions_closed"
     else abort t state (P.Connection_lost "verifier: peer vanished mid-reply");
     false
+
+(* Shared tail of a msg2 appraisal (inline or batch-settled):
+   [already] is whether the session had completed before this frame was
+   handled — an [Ok] then answers a retransmit, an [Error] is stray
+   traffic against a terminal session. *)
+let apply_msg2_result t state ~already = function
+  | Ok m3 ->
+    if already then begin
+      Metrics.incr t.metrics "retransmits_answered";
+      T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+        "verifier.retransmit_answered"
+    end
+    else begin
+      state.completed <- true;
+      t.served <- t.served + 1;
+      Metrics.incr t.metrics "sessions_completed";
+      T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id "verifier.accept"
+    end;
+    ignore (reply t state m3)
+  | Error _ when already ->
+    (* Anything that is not the byte-exact msg2 retransmit is stray
+       traffic against a terminal session: never aborts (the
+       completed appraisal stands), never answers. *)
+    Metrics.incr t.metrics "stray_after_complete";
+    T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
+      "verifier.stray_after_complete"
+  | Error e -> abort t state e
 
 let handle_frame t state frame =
   match state.vsession with
@@ -144,36 +199,27 @@ let handle_frame t state frame =
     end
     else begin
       let already = state.completed in
-      match
-        Watz_tz.Soc.smc t.soc (fun () ->
-            P.Verifier.handle_msg2 vsession ~random:(random t) frame)
-      with
-      | Ok m3 ->
-        if already then begin
-          Metrics.incr t.metrics "retransmits_answered";
-          T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
-            "verifier.retransmit_answered"
-        end
-        else begin
-          state.completed <- true;
-          t.served <- t.served + 1;
-          Metrics.incr t.metrics "sessions_completed";
-          T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id "verifier.accept"
-        end;
-        ignore (reply t state m3)
-      | Error _ when already ->
-        (* Anything that is not the byte-exact msg2 retransmit is stray
-           traffic against a terminal session: never aborts (the
-           completed appraisal stands), never answers. *)
-        Metrics.incr t.metrics "stray_after_complete";
-        T.instant (Watz_tz.Soc.tracer t.soc) T.Normal ~session:state.id
-          "verifier.stray_after_complete"
-      | Error e -> abort t state e
+      apply_msg2_result t state ~already
+        (Watz_tz.Soc.smc t.soc (fun () ->
+             P.Verifier.handle_msg2 vsession ~random:(random t) frame))
     end
 
 (** One scheduling quantum of the listener: accept pending connections,
     process every complete frame on every live session, and evict the
-    stalled ones. *)
+    stalled ones.
+
+    In [batch_verify] mode the pass is two-phase. The drain over live
+    sessions runs each msg2 appraisal only up to its evidence-signature
+    check ({!P.Verifier.msg2_verify_triple}) and parks the session
+    there — per-connection frame order is preserved by not reading
+    further frames from a parked session. Once every session is drained
+    or parked, all collected checks settle through one
+    {!Watz_crypto.Ecdsa.verify_batch} call, each appraisal completes
+    with its precomputed verdict, and the parked sessions drain again
+    (which may collect a next round, e.g. a duplicated msg2 now
+    answered from the cache). Collection and settle orders follow the
+    deterministic session iteration order, so batching keeps the
+    fixed-seed determinism contract. *)
 let step t =
   let rec accept_all () =
     match Watz_tz.Net.accept t.soc.Watz_tz.Soc.net ~port:t.port with
@@ -196,33 +242,81 @@ let step t =
   accept_all ();
   let now = Watz_tz.Soc.now_ns t.soc in
   let live = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
-  List.iter
-    (fun state ->
-      let rec drain () =
-        match Watz_tz.Net.recv_frame_ex state.conn with
-        | Watz_tz.Net.Frame frame ->
-          state.last_activity_ns <- Watz_tz.Soc.now_ns t.soc;
-          handle_frame t state frame;
-          if Hashtbl.mem t.sessions state.id then drain ()
-        | Watz_tz.Net.Awaiting ->
-          if Int64.sub now state.last_activity_ns > t.session_timeout_ns then
-            if state.completed then drop_session t state "sessions_closed"
-            else begin
-              Metrics.incr t.metrics "sessions_evicted";
-              t.on_evict state.id;
-              abort t state (P.Timed_out "verifier: session stalled")
-            end
-        | Watz_tz.Net.Closed_by_peer ->
-          (* A clean close after completion; anything earlier is a loss. *)
-          if state.completed then drop_session t state "sessions_closed"
-          else abort t state (P.Connection_lost "verifier: peer closed mid-protocol")
-        | Watz_tz.Net.Frame_violation e ->
-          Metrics.incr t.metrics "frame_violations";
-          abort t state
-            (P.Malformed (Format.asprintf "frame: %a" Watz_tz.Net.pp_frame_error e))
+  let pending = ref [] in
+  (* [true] when the frame is a msg2 whose signature check was deferred
+     into [pending]; the caller must then stop draining this session
+     until the batch settles. *)
+  let defer_msg2 state frame =
+    t.batch_verify
+    &&
+    match state.vsession with
+    | Some v when not (P.Verifier.is_msg0_retransmit v frame) -> (
+      match P.Verifier.msg2_verify_triple v frame with
+      | Some (key, msg, signature) ->
+        pending :=
+          {
+            p_state = state;
+            p_vsession = v;
+            p_frame = frame;
+            p_key = key;
+            p_msg = msg;
+            p_sig = signature;
+          }
+          :: !pending;
+        true
+      | None -> false)
+    | _ -> false
+  in
+  let rec drain state =
+    match Watz_tz.Net.recv_frame_ex state.conn with
+    | Watz_tz.Net.Frame frame ->
+      state.last_activity_ns <- Watz_tz.Soc.now_ns t.soc;
+      if not (defer_msg2 state frame) then begin
+        handle_frame t state frame;
+        if Hashtbl.mem t.sessions state.id then drain state
+      end
+    | Watz_tz.Net.Awaiting ->
+      if Int64.sub now state.last_activity_ns > t.session_timeout_ns then
+        if state.completed then drop_session t state "sessions_closed"
+        else begin
+          Metrics.incr t.metrics "sessions_evicted";
+          t.on_evict state.id;
+          abort t state (P.Timed_out "verifier: session stalled")
+        end
+    | Watz_tz.Net.Closed_by_peer ->
+      (* A clean close after completion; anything earlier is a loss. *)
+      if state.completed then drop_session t state "sessions_closed"
+      else abort t state (P.Connection_lost "verifier: peer closed mid-protocol")
+    | Watz_tz.Net.Frame_violation e ->
+      Metrics.incr t.metrics "frame_violations";
+      abort t state (P.Malformed (Format.asprintf "frame: %a" Watz_tz.Net.pp_frame_error e))
+  in
+  List.iter drain live;
+  let rec settle () =
+    match List.rev !pending with
+    | [] -> ()
+    | batch ->
+      pending := [];
+      Metrics.observe t.metrics "verify_batch_size" (List.length batch);
+      let batch = Array.of_list batch in
+      let verdicts =
+        Watz_crypto.Ecdsa.verify_batch (Array.map (fun p -> (p.p_key, p.p_msg, p.p_sig)) batch)
       in
-      drain ())
-    live
+      Array.iteri
+        (fun i p ->
+          if Hashtbl.mem t.sessions p.p_state.id then begin
+            let already = p.p_state.completed in
+            apply_msg2_result t p.p_state ~already
+              (Watz_tz.Soc.smc t.soc (fun () ->
+                   P.Verifier.handle_msg2_with
+                     ~verify:(fun _ _ -> verdicts.(i))
+                     p.p_vsession ~random:(random t) p.p_frame));
+            if Hashtbl.mem t.sessions p.p_state.id then drain p.p_state
+          end)
+        batch;
+      settle ()
+  in
+  settle ()
 
 (** Most recent failure across connections, for tests asserting
     rejection reasons. *)

@@ -43,9 +43,13 @@ type point = {
   z : Fe.t;
   mutable memo : affine array option;
   mutable enc : string option;
+  mutable comb_memo : affine array array option;
+      (* per-point comb (same shape as the generator's): position j
+         holds [1..15] * 16^j * P, affine — built on demand for keys
+         that verify many signatures (see {!prepare_comb}). *)
 }
 
-let jac x y z = { x; y; z; memo = None; enc = None }
+let jac x y z = { x; y; z; memo = None; enc = None; comb_memo = None }
 let infinity = jac (Fe.one fp) (Fe.one fp) (Fe.zero fp)
 let is_infinity pt = Fe.is_zero pt.z
 
@@ -280,6 +284,75 @@ let double_mul u1 u2 q =
     if d2 > 0 && Array.length qtbl > 0 then acc := add_affine !acc qtbl.(d2 - 1)
   done;
   !acc
+
+(* The per-point comb, memoized like the window table but covering all
+   64 nibble positions: [1..15] * 16^j * P for j = 0..63, affine. All
+   scalars d * 16^j stay below n (15 * 16^63 < n), so no row entry is
+   ever infinity and the single batch inversion is safe. Costs roughly
+   three double_mul calls to build; every comb-based double-scalar
+   multiplication after that drops all 252 ladder doublings. *)
+let point_comb pt =
+  match pt.comb_memo with
+  | Some c -> c
+  | None ->
+      let jrows = Array.make 64 [||] in
+      let pj = ref pt in
+      for j = 0 to 63 do
+        let row = Array.make 15 !pj in
+        for d = 1 to 14 do
+          row.(d) <- add row.(d - 1) !pj
+        done;
+        jrows.(j) <- row;
+        if j < 63 then pj := double (double (double (double !pj)))
+      done;
+      let flat = Array.concat (Array.to_list jrows) in
+      let affine = batch_to_affine flat in
+      let c = Array.init 64 (fun j -> Array.sub affine (j * 15) 15) in
+      pt.comb_memo <- Some c;
+      c
+
+let prepare_comb pt = if not (is_infinity pt) then ignore (point_comb pt)
+
+(* u1*G + u2*Q with both scalars walking combs: at most 128 mixed
+   additions and zero doublings. Needs Q's comb (built on first use);
+   profitable once a key verifies more than a couple of signatures. *)
+let comb_double_mul u1 u2 q =
+  let s1 = scalar_nibbles u1 in
+  let s2 = scalar_nibbles u2 in
+  let gc = get_comb () in
+  let qc = point_comb q in
+  let acc = ref infinity in
+  for i = 0 to 63 do
+    let d1 = nibble s1 i in
+    if d1 > 0 then acc := add_affine !acc gc.(63 - i).(d1 - 1);
+    let d2 = nibble s2 i in
+    if d2 > 0 then acc := add_affine !acc qc.(63 - i).(d2 - 1)
+  done;
+  !acc
+
+(* Batched ECDSA-verify shape: every entry computed doubling-free on
+   the combs, then one shared Montgomery batch inversion normalises all
+   finite results (amortising the one field inversion a per-signature
+   to_affine would pay each). Entries yielding infinity map to None. *)
+let double_mul_batch entries =
+  let k = Array.length entries in
+  let results =
+    Array.map
+      (fun (u1, u2, q) -> if is_infinity q then double_mul u1 u2 q else comb_double_mul u1 u2 q)
+      entries
+  in
+  let finite = Array.of_list (List.filter (fun p -> not (is_infinity p)) (Array.to_list results)) in
+  let affines = batch_to_affine finite in
+  let out = Array.make k None in
+  let j = ref 0 in
+  for i = 0 to k - 1 do
+    if not (is_infinity results.(i)) then begin
+      let a = affines.(!j) in
+      incr j;
+      out.(i) <- Some (Fe.to_bn fp a.ax, Fe.to_bn fp a.ay)
+    end
+  done;
+  out
 
 (* Cross-multiplied comparison: x1*z2^2 = x2*z1^2 (and same for y with
    cubes) avoids any inversion. *)

@@ -55,6 +55,24 @@ val double_mul : Bn.t -> Bn.t -> point -> point
 (** [double_mul u1 u2 q] is [u1]G + [u2]Q on a shared doubling ladder
     (Shamir's trick) — the ECDSA verification inner loop. *)
 
+val double_mul_batch : (Bn.t * Bn.t * point) array -> (Bn.t * Bn.t) option array
+(** [double_mul_batch [| (u1, u2, q); ... |]] computes every
+    [u1]G + [u2]Q doubling-free on per-point combs (built and memoized
+    on first use, see {!prepare_comb}) and normalises all results with
+    a single shared field inversion (Montgomery's trick) — the
+    batch-verify workhorse. Each slot holds the affine coordinates of
+    its sum, or [None] when the sum is the point at infinity.
+    Agrees exactly with per-entry [double_mul] + [to_affine]. *)
+
+val prepare_comb : point -> unit
+(** Precompute and memoize the point's full comb ([1..15] * 16^j * P
+    for every nibble position), the table behind {!double_mul_batch}:
+    ~64x the window table's size, pays for itself once the key verifies
+    more than a couple of signatures. Idempotent; a no-op on the point
+    at infinity. The same single-domain ownership rule as {!prepare}
+    applies — build the comb in the domain that uses it, or before
+    spawning. *)
+
 val prepare : point -> unit
 (** Precompute and memoize the point's window table so later {!mul} /
     {!double_mul} calls skip table setup. Idempotent; a no-op on the

@@ -359,6 +359,64 @@ let qcheck_ecdsa_sign_verify =
       let pub = Ecdsa.public_of_private key in
       Ecdsa.verify pub ~msg ~signature:(Ecdsa.sign key msg))
 
+(* Differential: the shared-precomputation batch path must return, slot
+   for slot, exactly what per-signature [verify] returns — across batch
+   sizes, repeated and distinct keys, and adversarial entries. *)
+let ecdsa_verify_batch_differential () =
+  let keys =
+    List.init 3 (fun i ->
+        let d = Ecdsa.private_of_bytes (Sha256.digest (Printf.sprintf "batch-key-%d" i)) in
+        (d, Ecdsa.public_of_private d))
+  in
+  let entry i =
+    let d, q = List.nth keys (i mod 3) in
+    let msg = Printf.sprintf "batch message %d" i in
+    (q, msg, Ecdsa.sign d msg)
+  in
+  List.iter
+    (fun n ->
+      let batch = Array.init n entry in
+      let got = Ecdsa.verify_batch batch in
+      Array.iteri
+        (fun i ok ->
+          let q, msg, signature = batch.(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d, slot %d matches verify" n i)
+            (Ecdsa.verify q ~msg ~signature)
+            ok)
+        got;
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d: all-valid batch accepts" n)
+        true
+        (Array.for_all Fun.id got))
+    [ 0; 1; 2; 7 ]
+
+let ecdsa_verify_batch_corruption_isolated () =
+  let n = 8 in
+  let d = Ecdsa.private_of_bytes rfc6979_private in
+  let q = Ecdsa.public_of_private d in
+  let batch =
+    Array.init n (fun i ->
+        let msg = Printf.sprintf "msg %d" i in
+        (q, msg, Ecdsa.sign d msg))
+  in
+  (* Corrupt one signature mid-batch, swap one message with a foreign
+     key's, and truncate another: only those slots may fail. *)
+  (let q3, m3, s3 = batch.(3) in
+   batch.(3) <-
+     (q3, m3, String.mapi (fun i c -> if i = 20 then Char.chr (Char.code c lxor 0x08) else c) s3));
+  (let other = Ecdsa.public_of_private (Ecdsa.private_of_bytes (Sha256.digest "other")) in
+   let _, m5, s5 = batch.(5) in
+   batch.(5) <- (other, m5, s5));
+  (let q6, m6, s6 = batch.(6) in
+   batch.(6) <- (q6, m6, String.sub s6 0 63));
+  let got = Ecdsa.verify_batch batch in
+  Array.iteri
+    (fun i ok ->
+      let expected = not (List.mem i [ 3; 5; 6 ]) in
+      Alcotest.(check bool) (Printf.sprintf "slot %d" i) expected ok)
+    got
+
 (* ------------------------------------------------------------------ *)
 (* ECDH *)
 
@@ -664,6 +722,8 @@ let suite =
         case "RFC 6979 P-256/SHA-256 vector" ecdsa_rfc6979_vector;
         case "rejects forgeries" ecdsa_rejects_forgery;
         case "seeded keypair deterministic" ecdsa_seeded_keypair_deterministic;
+        case "verify_batch differential vs verify" ecdsa_verify_batch_differential;
+        case "verify_batch isolates corrupted slots" ecdsa_verify_batch_corruption_isolated;
         q qcheck_ecdsa_sign_verify;
       ] );
     ( "crypto.ecdh",
