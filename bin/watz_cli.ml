@@ -361,6 +361,123 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Execute SQL statements against an in-enclave MiniDB (one per argument)")
     Term.(const run $ stmts)
 
+let fuzz_cmd =
+  let budget =
+    Arg.(
+      value & opt int 2000
+      & info [ "budget" ] ~docv:"N" ~doc:"Total number of fuzz cases, split across targets.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 0xfa175eedL
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed. Every case derives its own seed from (campaign seed, target, \
+                index), so findings replay independently of the budget split.")
+  in
+  let corpus =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Corpus directory: shrunk findings are written here, and existing entries are \
+                replayed as regression checks before the campaign starts.")
+  in
+  let targets =
+    Arg.(
+      value & opt_all string []
+      & info [ "target" ] ~docv:"TARGET"
+          ~doc:"Restrict to a target: modgen, decode, crypto, proto or pipeline. Repeatable; \
+                default is all of them.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the campaign report as JSON.")
+  in
+  let run budget seed corpus target_names json =
+    let targets =
+      match target_names with
+      | [] -> Watz_fuzz.Fuzz.all_targets
+      | names ->
+        List.map
+          (fun n ->
+            match Watz_fuzz.Fuzz.target_of_string n with
+            | Some t -> t
+            | None -> Format.kasprintf failwith "unknown fuzz target %S" n)
+          names
+    in
+    (* Replay the existing corpus first: checked-in reproducers are
+       regression tests and must stay green. *)
+    let replay_failures =
+      match corpus with
+      | None -> 0
+      | Some dir ->
+        List.fold_left
+          (fun acc (name, result) ->
+            match result with
+            | Ok () ->
+              Printf.printf "replay %-40s ok\n" name;
+              acc
+            | Error desc ->
+              Printf.printf "replay %-40s REPRODUCES: %s\n" name desc;
+              acc + 1)
+          0
+          (Watz_fuzz.Fuzz.replay_dir dir)
+    in
+    let report =
+      Watz_fuzz.Fuzz.run ~targets
+        ~on_finding:(fun f ->
+          Printf.printf "FINDING [%s] seed=%Ld: %s\n%!"
+            (Watz_fuzz.Fuzz.target_name f.Watz_fuzz.Fuzz.f_target)
+            f.Watz_fuzz.Fuzz.f_case_seed f.Watz_fuzz.Fuzz.f_desc)
+        ~seed ~budget ()
+    in
+    List.iter
+      (fun (s : Watz_fuzz.Fuzz.target_stats) ->
+        Printf.printf "%-9s %6d execs  %8.2fs  %7.0f execs/s  %d findings\n"
+          (Watz_fuzz.Fuzz.target_name s.Watz_fuzz.Fuzz.t_target)
+          s.Watz_fuzz.Fuzz.t_execs s.Watz_fuzz.Fuzz.t_elapsed_s
+          (float_of_int s.Watz_fuzz.Fuzz.t_execs /. Float.max 1e-9 s.Watz_fuzz.Fuzz.t_elapsed_s)
+          s.Watz_fuzz.Fuzz.t_findings)
+      report.Watz_fuzz.Fuzz.r_stats;
+    (match corpus with
+    | Some dir when report.Watz_fuzz.Fuzz.r_findings <> [] ->
+      List.iter (Printf.printf "wrote %s\n") (Watz_fuzz.Fuzz.write_findings ~dir report)
+    | _ -> ());
+    (match json with
+    | None -> ()
+    | Some file ->
+      let stats_json =
+        String.concat ","
+          (List.map
+             (fun (s : Watz_fuzz.Fuzz.target_stats) ->
+               Printf.sprintf
+                 {|{"target":"%s","execs":%d,"elapsed_s":%.6f,"findings":%d}|}
+                 (Watz_fuzz.Fuzz.target_name s.Watz_fuzz.Fuzz.t_target)
+                 s.Watz_fuzz.Fuzz.t_execs s.Watz_fuzz.Fuzz.t_elapsed_s
+                 s.Watz_fuzz.Fuzz.t_findings)
+             report.Watz_fuzz.Fuzz.r_stats)
+      in
+      let oc = open_out file in
+      Printf.fprintf oc {|{"seed":%Ld,"budget":%d,"targets":[%s],"findings":%d}|}
+        seed budget stats_json
+        (List.length report.Watz_fuzz.Fuzz.r_findings);
+      output_char oc '\n';
+      close_out oc);
+    let n_findings = List.length report.Watz_fuzz.Fuzz.r_findings in
+    if n_findings > 0 then Printf.printf "%d finding(s)\n" n_findings
+    else print_endline "no findings";
+    if n_findings > 0 || replay_failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Seeded fuzzing and differential verification: structured Wasm modules across the \
+          three execution tiers, byte mutations against the decoder, crypto vs the frozen \
+          reference stack, the attestation protocol under tampering, and MiniC programs \
+          through the full compile/measure/attest/execute pipeline. Exit status 1 when \
+          anything is found.")
+    Term.(const run $ budget $ seed $ corpus $ targets $ json)
+
 let () =
   let info = Cmd.info "watz" ~version:"1.0" ~doc:"WaTZ trusted Wasm runtime simulator" in
   exit
@@ -368,5 +485,5 @@ let () =
        (Cmd.group info
           [
             boot_cmd; measure_cmd; run_cmd; attest_cmd; attest_storm_cmd; trace_cmd;
-            verify_protocol_cmd; sql_cmd;
+            verify_protocol_cmd; sql_cmd; fuzz_cmd;
           ]))

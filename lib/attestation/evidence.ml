@@ -53,7 +53,9 @@ let decode raw =
     | Some attestation_pubkey ->
       if not (eof r) then raise (Malformed "trailing bytes after evidence");
       { body = { anchor; version; claim; attestation_pubkey }; signature }
-  with Truncated -> raise (Malformed "truncated evidence")
+  with
+  | Truncated -> raise (Malformed "truncated evidence")
+  | Overflow -> raise (Malformed "malformed length in evidence")
 
 (** [verify_signature s] checks the evidence signature against the
     attestation public key {e carried in the evidence} — the verifier

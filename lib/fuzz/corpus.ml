@@ -1,0 +1,110 @@
+(** On-disk corpus of shrunk failing inputs.
+
+    Each finding is one self-describing text file so reproducers can be
+    checked into git, reviewed in a diff, and replayed as regression
+    tests. Format:
+
+    {v
+    watz-fuzz-corpus v1
+    target: decode
+    seed: 1234
+    desc: decoder crash: Invalid_argument ...
+    payload-hex: 0061736d01000000...
+    v}
+
+    [payload-hex] is the raw failing input (encoded module bytes,
+    protocol message, boot image...) — the universal currency every
+    fuzz target can replay from. File names derive from a digest of the
+    payload, so re-finding the same input is idempotent. *)
+
+type entry = {
+  target : string;
+  seed : int64;
+  desc : string;
+  payload : string;
+}
+
+let magic = "watz-fuzz-corpus v1"
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then invalid_arg "of_hex: odd length";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let render (e : entry) =
+  String.concat "\n"
+    [ magic;
+      "target: " ^ e.target;
+      Printf.sprintf "seed: %Ld" e.seed;
+      "desc: " ^ String.map (function '\n' -> ' ' | c -> c) e.desc;
+      "payload-hex: " ^ to_hex e.payload;
+      "" ]
+
+exception Bad_entry of string
+
+let parse (s : string) : entry =
+  let lines = String.split_on_char '\n' s in
+  let field prefix =
+    match
+      List.find_map
+        (fun l ->
+          if String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix
+          then Some (String.sub l (String.length prefix) (String.length l - String.length prefix))
+          else None)
+        lines
+    with
+    | Some v -> v
+    | None -> raise (Bad_entry ("missing field " ^ prefix))
+  in
+  (match lines with
+  | m :: _ when m = magic -> ()
+  | _ -> raise (Bad_entry "bad magic"));
+  let payload =
+    try of_hex (field "payload-hex: ")
+    with Invalid_argument m | Failure m -> raise (Bad_entry ("bad payload-hex: " ^ m))
+  in
+  {
+    target = field "target: ";
+    seed = (try Int64.of_string (field "seed: ") with _ -> raise (Bad_entry "bad seed"));
+    desc = field "desc: ";
+    payload;
+  }
+
+(* Short content digest for stable, idempotent file names. The seed is
+   part of the digest: seed-replayed findings (crypto, proto...) carry
+   no payload bytes, and distinct seeds must not collide. *)
+let name_of (e : entry) =
+  let d =
+    Watz_crypto.Sha256.digest (Printf.sprintf "%s\x00%Ld\x00%s" e.target e.seed e.payload)
+  in
+  Printf.sprintf "%s-%s.case" e.target (to_hex (String.sub d 0 6))
+
+let write_entry ~dir (e : entry) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name_of e) in
+  let oc = open_out path in
+  output_string oc (render e);
+  close_out oc;
+  path
+
+let read_entry path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+(** All `.case` entries under [dir], sorted by file name for
+    deterministic replay order. Missing dir = empty corpus. *)
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort String.compare
+    |> List.map (fun f -> (f, read_entry (Filename.concat dir f)))

@@ -1,0 +1,147 @@
+(** Differential crypto fuzzing: optimized {!Watz_crypto} vs the
+    frozen pre-optimization {!Refcrypto} oracle.
+
+    One round = one seeded draw of inputs pushed through both stacks:
+
+    - SHA-256 on lengths straddling the padding boundary (55/56/57,
+      63/64/65, ...) and with the streaming API split at random points
+      — one-shot, streamed and reference digests must all agree;
+    - ECDSA sign (RFC 6979, so bit-identical signatures, not merely
+      cross-verifiable), verify of both the good signature and a
+      corrupted one (same verdict from both stacks);
+    - GHASH on random subkeys and part lists (the table-driven path vs
+      the shift-and-add reference);
+    - AES-GCM encrypt bit-identity, decrypt roundtrip, and
+      tag-corruption rejection.
+
+    [round rng] is [Ok ()] or [Error description]; the description is a
+    finding. *)
+
+module Prng = Watz_util.Prng
+module C = Watz_crypto
+module R = Refcrypto
+module Bn = Watz_crypto.Bn
+
+let hex s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.init (String.length s) (String.get s))))
+
+(* Lengths that exercise the SHA-256 padding state machine. *)
+let boundary_lengths = [| 0; 1; 3; 31; 32; 33; 54; 55; 56; 57; 63; 64; 65; 119; 120; 121; 127; 128; 129; 200; 1000 |]
+
+let gen_msg rng =
+  let n =
+    if Prng.bool rng then boundary_lengths.(Prng.int rng (Array.length boundary_lengths))
+    else Prng.int rng 300
+  in
+  Prng.bytes rng n
+
+let check_sha256 rng =
+  let msg = gen_msg rng in
+  let fast = C.Sha256.digest msg in
+  let ref_ = R.Sha256.digest msg in
+  if not (String.equal fast ref_) then
+    Error
+      (Printf.sprintf "sha256 mismatch on %d bytes: fast=%s ref=%s" (String.length msg)
+         (hex fast) (hex ref_))
+  else begin
+    (* streamed at 1–4 random split points must equal one-shot *)
+    let ctx = C.Sha256.init () in
+    let n = String.length msg in
+    let cuts =
+      List.sort_uniq compare (List.init (1 + Prng.int rng 4) (fun _ -> if n = 0 then 0 else Prng.int rng (n + 1)))
+    in
+    let pos = ref 0 in
+    List.iter
+      (fun cut ->
+        if cut > !pos then C.Sha256.update_substring ctx msg !pos (cut - !pos);
+        pos := max !pos cut)
+      cuts;
+    if n > !pos then C.Sha256.update_substring ctx msg !pos (n - !pos);
+    let streamed = C.Sha256.finalize ctx in
+    if String.equal streamed fast then Ok ()
+    else
+      Error
+        (Printf.sprintf "sha256 streaming mismatch on %d bytes (cuts %s): %s vs %s" n
+           (String.concat "," (List.map string_of_int cuts))
+           (hex streamed) (hex fast))
+  end
+
+let check_ecdsa rng =
+  let seed = Prng.bytes rng (1 + Prng.int rng 40) in
+  let priv, pub = C.Ecdsa.keypair_of_seed seed in
+  let priv_bn = Bn.of_bytes_be (C.Ecdsa.private_to_bytes priv) in
+  let pub_ref =
+    match R.P256.of_bytes (C.P256.encode pub) with
+    | Some p -> p
+    | None -> failwith "refcrypto rejected our own public key encoding"
+  in
+  let digest = C.Sha256.digest (Prng.bytes rng (Prng.int rng 100)) in
+  let s_fast = C.Ecdsa.sign_digest priv digest in
+  let s_ref = R.Ecdsa.sign_digest priv_bn digest in
+  if not (String.equal s_fast s_ref) then
+    Error (Printf.sprintf "ecdsa signature not bit-identical: fast=%s ref=%s" (hex s_fast) (hex s_ref))
+  else if not (C.Ecdsa.verify_digest pub ~digest ~signature:s_fast) then
+    Error "ecdsa fast stack rejected its own signature"
+  else if not (R.Ecdsa.verify_digest pub_ref ~digest ~signature:s_fast) then
+    Error "ecdsa reference stack rejected fast signature"
+  else begin
+    (* corrupt one byte: both stacks must agree on the verdict (almost
+       always false, but agreement — not falsity — is the oracle) *)
+    let b = Bytes.of_string s_fast in
+    let i = Prng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Prng.int rng 255)));
+    let bad = Bytes.to_string b in
+    let v_fast = C.Ecdsa.verify_digest pub ~digest ~signature:bad in
+    let v_ref = R.Ecdsa.verify_digest pub_ref ~digest ~signature:bad in
+    if v_fast = v_ref then Ok ()
+    else
+      Error
+        (Printf.sprintf "ecdsa corrupted-signature verdict diverges (fast=%b ref=%b) on %s"
+           v_fast v_ref (hex bad))
+  end
+
+let check_ghash rng =
+  let h = Prng.bytes rng 16 in
+  let parts = List.init (Prng.int rng 5) (fun _ -> Prng.bytes rng (Prng.int rng 70)) in
+  let fast = C.Gcm.ghash_bytes ~h parts in
+  let ref_ = R.Gcm.ghash_bytes ~h parts in
+  if String.equal fast ref_ then Ok ()
+  else
+    Error
+      (Printf.sprintf "ghash mismatch (h=%s, %d parts): fast=%s ref=%s" (hex h)
+         (List.length parts) (hex fast) (hex ref_))
+
+let check_gcm rng =
+  let key = Prng.bytes rng 16 in
+  let iv = Prng.bytes rng (if Prng.bool rng then 12 else 1 + Prng.int rng 32) in
+  let aad = if Prng.bool rng then Some (Prng.bytes rng (Prng.int rng 40)) else None in
+  let pt = Prng.bytes rng (Prng.int rng 200) in
+  let ct_f, tag_f = C.Gcm.encrypt ~key ~iv ?aad pt in
+  let ct_r, tag_r = R.Gcm.encrypt ~key ~iv ?aad pt in
+  if not (String.equal ct_f ct_r && String.equal tag_f tag_r) then
+    Error
+      (Printf.sprintf "gcm encrypt mismatch (iv %d bytes): ct %s/%s tag %s/%s"
+         (String.length iv) (hex ct_f) (hex ct_r) (hex tag_f) (hex tag_r))
+  else
+    match C.Gcm.decrypt ~key ~iv ?aad ~tag:tag_f ct_f with
+    | None -> Error "gcm decrypt rejected its own ciphertext"
+    | Some pt' when not (String.equal pt pt') ->
+      Error "gcm decrypt roundtrip changed the plaintext"
+    | Some _ -> (
+      let bad_tag =
+        let b = Bytes.of_string tag_f in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+        Bytes.to_string b
+      in
+      match C.Gcm.decrypt ~key ~iv ?aad ~tag:bad_tag ct_f with
+      | Some _ -> Error "gcm accepted a corrupted tag"
+      | None -> Ok ())
+
+(** One differential round drawing which primitive to hit from the
+    same stream as its inputs. *)
+let round rng =
+  match Prng.int rng 6 with
+  | 0 | 1 -> check_sha256 rng
+  | 2 -> check_ecdsa rng
+  | 3 | 4 -> check_ghash rng
+  | _ -> check_gcm rng

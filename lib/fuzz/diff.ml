@@ -1,0 +1,231 @@
+(** Differential execution across the three tiers.
+
+    The oracle is agreement: the tree-walking interpreter, the
+    pre-decoded fast interpreter and the AOT compiler must produce the
+    same outcome — same values (bit-identical, modulo any-NaN ==
+    any-NaN), same trap message, and, after the full call sequence, the
+    same reading of the module's fuel global. Equal fuel certifies the
+    tiers agreed on the whole dynamic path (every loop back-edge and
+    function entry), not just on final values.
+
+    Any exception that is not a [Trap] / [Exhaustion] / [Link_error]
+    escaping a tier is a crash and always a finding, whether or not the
+    tiers agree on it. *)
+
+open Watz_wasm
+open Watz_wasm.Ast
+
+type outcome =
+  | Values of value list
+  | Trap of string
+  | Exhausted of string
+  | Crash of string
+
+let outcome_to_string = function
+  | Values vs ->
+    "values ["
+    ^ String.concat "; "
+        (List.map
+           (function
+             | VI32 v -> Printf.sprintf "i32:%ld" v
+             | VI64 v -> Printf.sprintf "i64:%Ld" v
+             | VF32 v -> Printf.sprintf "f32:%h" v
+             | VF64 v -> Printf.sprintf "f64:%h" v)
+           vs)
+    ^ "]"
+  | Trap m -> "trap: " ^ m
+  | Exhausted m -> "exhaustion: " ^ m
+  | Crash m -> "CRASH: " ^ m
+
+let value_equal a b =
+  match (a, b) with
+  | VI32 x, VI32 y -> Int32.equal x y
+  | VI64 x, VI64 y -> Int64.equal x y
+  | VF32 x, VF32 y | VF64 x, VF64 y ->
+    (Float.is_nan x && Float.is_nan y)
+    || Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+let outcome_equal a b =
+  match (a, b) with
+  | Values xs, Values ys -> List.length xs = List.length ys && List.for_all2 value_equal xs ys
+  | Trap x, Trap y -> String.equal x y
+  | Exhausted _, Exhausted _ -> true
+  | Crash _, _ | _, Crash _ -> false (* a crash never matches anything *)
+  | _ -> false
+
+let catching f =
+  match f () with
+  | vs -> Values vs
+  | exception Instance.Trap m -> Trap m
+  | exception Instance.Exhaustion m -> Exhausted m
+  | exception Instance.Link_error m -> Crash ("link error during execution: " ^ m)
+  | exception Stack_overflow -> Crash "stack overflow"
+  | exception e -> Crash (Printexc.to_string e)
+
+(* One tier = instantiate once, then run the whole call sequence
+   against that instance (so fuel and memory effects accumulate), and
+   finally read the fuel export. *)
+type tier_run = { t_name : string; t_outcomes : outcome list; t_fuel : outcome }
+
+let run_interp (c : Gen.case) =
+  let run () =
+    let inst = Instance.instantiate c.module_ in
+    let invoke name args =
+      catching (fun () ->
+          match Instance.export_func inst name with
+          | Some f -> Interp.invoke f args
+          | None -> raise (Instance.Link_error ("no export " ^ name)))
+    in
+    let outs = List.map (fun (name, args) -> invoke name args) c.Gen.calls in
+    (outs, invoke c.Gen.fuel_export [])
+  in
+  match run () with
+  | outs, fuel -> { t_name = "interp"; t_outcomes = outs; t_fuel = fuel }
+  | exception e ->
+    let o = Crash ("instantiate: " ^ Printexc.to_string e) in
+    { t_name = "interp"; t_outcomes = [ o ]; t_fuel = o }
+
+let run_fast (c : Gen.case) =
+  let run () =
+    let finst = Fastinterp.instantiate (Fastinterp.compile c.module_) in
+    let invoke name args = catching (fun () -> Fastinterp.invoke finst name args) in
+    let outs = List.map (fun (name, args) -> invoke name args) c.Gen.calls in
+    (outs, invoke c.Gen.fuel_export [])
+  in
+  match run () with
+  | outs, fuel -> { t_name = "fast"; t_outcomes = outs; t_fuel = fuel }
+  | exception e ->
+    let o = Crash ("compile/instantiate: " ^ Printexc.to_string e) in
+    { t_name = "fast"; t_outcomes = [ o ]; t_fuel = o }
+
+let run_aot (c : Gen.case) =
+  let run () =
+    let rinst = Aot.instantiate c.module_ in
+    let invoke name args = catching (fun () -> Aot.invoke rinst name args) in
+    let outs = List.map (fun (name, args) -> invoke name args) c.Gen.calls in
+    (outs, invoke c.Gen.fuel_export [])
+  in
+  match run () with
+  | outs, fuel -> { t_name = "aot"; t_outcomes = outs; t_fuel = fuel }
+  | exception e ->
+    let o = Crash ("compile/instantiate: " ^ Printexc.to_string e) in
+    { t_name = "aot"; t_outcomes = [ o ]; t_fuel = o }
+
+type verdict =
+  | Agree
+  | Invalid_module of string (* generator bug: produced an invalid module *)
+  | Diverged of { call : string; tier_a : string; tier_b : string; a : string; b : string }
+  | Crashed of { tier : string; call : string; detail : string }
+
+let crash_of (r : tier_run) =
+  let calls_and_fuel = r.t_outcomes @ [ r.t_fuel ] in
+  let rec find i = function
+    | [] -> None
+    | Crash m :: _ -> Some (i, m)
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 calls_and_fuel
+
+let compare_runs (c : Gen.case) (a : tier_run) (b : tier_run) =
+  let names = List.map fst c.Gen.calls @ [ c.Gen.fuel_export ] in
+  let oa = a.t_outcomes @ [ a.t_fuel ] and ob = b.t_outcomes @ [ b.t_fuel ] in
+  if List.length oa <> List.length ob then
+    Some
+      (Diverged
+         { call = "<sequence>"; tier_a = a.t_name; tier_b = b.t_name;
+           a = Printf.sprintf "%d outcomes" (List.length oa);
+           b = Printf.sprintf "%d outcomes" (List.length ob) })
+  else
+    let rec go names oa ob =
+      match (names, oa, ob) with
+      | [], [], [] -> None
+      | n :: ns, x :: xs, y :: ys ->
+        if outcome_equal x y then go ns xs ys
+        else
+          Some
+            (Diverged
+               { call = n; tier_a = a.t_name; tier_b = b.t_name;
+                 a = outcome_to_string x; b = outcome_to_string y })
+      | _ -> assert false
+    in
+    go names oa ob
+
+(** Run a generated case on all three tiers and compare. *)
+let run_case (c : Gen.case) : verdict =
+  match Validate.validate c.Gen.module_ with
+  | exception Validate.Invalid m -> Invalid_module m
+  | exception e -> Invalid_module (Printexc.to_string e)
+  | () -> (
+    let runs = [ run_interp c; run_fast c; run_aot c ] in
+    (* a crash in any tier is a finding on its own *)
+    let crash =
+      List.find_map
+        (fun r ->
+          match crash_of r with
+          | Some (i, m) ->
+            let names = List.map fst c.Gen.calls @ [ c.Gen.fuel_export ] in
+            Some (Crashed { tier = r.t_name; call = List.nth names (min i (List.length names - 1)); detail = m })
+          | None -> None)
+        runs
+    in
+    match crash with
+    | Some v -> v
+    | None -> (
+      match runs with
+      | [ i; f; a ] -> (
+        match compare_runs c i f with
+        | Some v -> v
+        | None -> ( match compare_runs c i a with Some v -> v | None -> Agree))
+      | _ -> assert false))
+
+(* A verdict worth shrinking: the module is valid and the tiers
+   disagreed or crashed. [Invalid_module] is a finding too (a generator
+   bug) but body-level shrinking must never walk into it. *)
+let is_failure = function Agree | Invalid_module _ -> false | Diverged _ | Crashed _ -> true
+
+let verdict_to_string = function
+  | Agree -> "agree"
+  | Invalid_module m -> "generator produced invalid module: " ^ m
+  | Diverged { call; tier_a; tier_b; a; b } ->
+    Printf.sprintf "divergence at %s: %s=%s vs %s=%s" call tier_a a tier_b b
+  | Crashed { tier; call; detail } -> Printf.sprintf "crash in %s at %s: %s" tier call detail
+
+(* ------------------------------------------------------------------ *)
+(* Decoder/validator byte-level oracle: any byte string must map to a
+   decoded module or a typed [Decode.Malformed]; a decoded module must
+   validate or raise a typed [Validate.Invalid]. Nothing else — no
+   [Invalid_argument], no [Stack_overflow], no reader exceptions. A
+   module that decodes AND validates must also survive a re-encode →
+   re-decode → re-validate roundtrip (the verdict every execution tier
+   consumes is the same front door, so verdict stability is what keeps
+   the tiers fed identically). Mutants are deliberately NOT executed:
+   a byte flip can turn a bounded loop into an unbounded one, and
+   execution has no fuel limit — termination is only guaranteed for
+   modules built by {!Gen}. *)
+
+type decode_verdict =
+  | Rejected (* typed rejection: fine *)
+  | Accepted
+  | Decoder_crash of string
+
+let run_bytes (bytes : string) : decode_verdict =
+  match Decode.decode bytes with
+  | exception Decode.Malformed _ -> Rejected
+  | exception e -> Decoder_crash ("decode: " ^ Printexc.to_string e)
+  | m -> (
+    match Validate.validate m with
+    | exception Validate.Invalid _ -> Rejected
+    | exception e -> Decoder_crash ("validate: " ^ Printexc.to_string e)
+    | () -> (
+      match Encode.encode m with
+      | exception e -> Decoder_crash ("re-encode of accepted module: " ^ Printexc.to_string e)
+      | bytes' -> (
+        match Decode.decode bytes' with
+        | exception e ->
+          Decoder_crash ("re-decode of accepted module: " ^ Printexc.to_string e)
+        | m' -> (
+          match Validate.validate m' with
+          | exception e ->
+            Decoder_crash ("re-validate of accepted module: " ^ Printexc.to_string e)
+          | () -> Accepted))))

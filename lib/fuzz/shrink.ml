@@ -1,0 +1,228 @@
+(** Shrinking of failing inputs.
+
+    Two reducers:
+
+    - [bytes]: ddmin-style delta debugging over a byte string — remove
+      exponentially smaller chunks while the predicate (the failure)
+      still holds, then sweep single bytes towards zero.
+
+    - [case]: AST-level reduction of a generated {!Gen.case} — drop
+      whole calls, then whole exports' argument complexity. Candidates
+      are only kept if the module still validates and the predicate
+      still fails, so a shrunk reproducer stays a real, runnable module.
+
+    Both are bounded by an evaluation budget so a slow predicate cannot
+    wedge a fuzz run. *)
+
+let max_evals = 2000
+
+(* ddmin-lite: chunk removal at decreasing granularity. *)
+let bytes (pred : string -> bool) (s0 : string) : string =
+  let evals = ref 0 in
+  let check s =
+    incr evals;
+    !evals <= max_evals && pred s
+  in
+  let cur = ref s0 in
+  let chunk = ref (max 1 (String.length s0 / 2)) in
+  while !chunk >= 1 do
+    let progressed = ref true in
+    while !progressed && !evals < max_evals do
+      progressed := false;
+      let n = String.length !cur in
+      let i = ref 0 in
+      while !i + !chunk <= n && not !progressed do
+        let candidate =
+          String.sub !cur 0 !i ^ String.sub !cur (!i + !chunk) (n - !i - !chunk)
+        in
+        if check candidate then begin
+          cur := candidate;
+          progressed := true
+        end
+        else i := !i + !chunk
+      done
+    done;
+    chunk := !chunk / 2
+  done;
+  (* byte-normalization sweep: pull bytes towards 0x00 for readability *)
+  let b = Bytes.of_string !cur in
+  for i = 0 to Bytes.length b - 1 do
+    if !evals < max_evals && Bytes.get b i <> '\x00' then begin
+      let old = Bytes.get b i in
+      Bytes.set b i '\x00';
+      if not (check (Bytes.to_string b)) then Bytes.set b i old
+    end
+  done;
+  Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Instruction-level body reduction.
+
+   Candidates that break validation are simply rejected by the
+   predicate (the caller's predicate must only hold for *valid* failing
+   modules), so the reducer can propose aggressive edits: ddmin span
+   removal over an instruction sequence, unwrapping of block/loop
+   bodies, and collapsing an [If] to one of its arms (with a [Drop] for
+   the dangling condition). Applied recursively into nested bodies. *)
+
+open Watz_wasm.Ast
+
+let replace_at l i repl = List.concat (List.mapi (fun j x -> if j = i then repl else [ x ]) l)
+
+let rec shrink_instrs (check : instr list -> bool) (body : instr list) : instr list =
+  let cur = ref body in
+  (* 1. span removal, decreasing chunk size *)
+  let chunk = ref (max 1 (List.length body / 2)) in
+  while !chunk >= 1 do
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      let n = List.length !cur in
+      let i = ref 0 in
+      while !i + !chunk <= n && not !progressed do
+        let cand = List.filteri (fun j _ -> j < !i || j >= !i + !chunk) !cur in
+        if check cand then begin
+          cur := cand;
+          progressed := true
+        end
+        else incr i
+      done
+    done;
+    chunk := !chunk / 2
+  done;
+  (* 2. structural collapses: unwrap blocks/loops, keep one If arm *)
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iteri
+      (fun i instr ->
+        if not !progressed then begin
+          let try_repl repl =
+            if not !progressed then begin
+              let cand = replace_at !cur i repl in
+              if check cand then begin
+                cur := cand;
+                progressed := true
+              end
+            end
+          in
+          match instr with
+          | If (_, t, e) ->
+            try_repl (Drop :: t);
+            try_repl (Drop :: e)
+          | Block (_, b) | Loop (_, b) -> try_repl b
+          | _ -> ()
+        end)
+      !cur
+  done;
+  (* 3. recurse into surviving nested bodies *)
+  List.iteri
+    (fun i instr ->
+      let sub rebuild b =
+        let b' = shrink_instrs (fun cand -> check (replace_at !cur i [ rebuild cand ])) b in
+        if b' != b then cur := replace_at !cur i [ rebuild b' ]
+      in
+      match instr with
+      | Block (bt, b) -> sub (fun c -> Block (bt, c)) b
+      | Loop (bt, b) -> sub (fun c -> Loop (bt, c)) b
+      | If (bt, t, e) ->
+        sub (fun c -> If (bt, c, e)) t;
+        (* re-fetch: the If at [i] may have a new then-arm now *)
+        (match List.nth !cur i with
+        | If (bt', t', e') -> sub (fun c -> If (bt', t', c)) e'
+        | _ -> ())
+      | _ -> ())
+    !cur;
+  !cur
+
+(* Shrink every function body of a module while [pred] keeps failing.
+   [pred] must return false for invalid modules — the reducer leans on
+   the validator to discard stack-breaking candidates. *)
+let module_bodies (pred : module_ -> bool) (m : module_) : module_ =
+  let evals = ref 0 in
+  let current = ref m in
+  List.iteri
+    (fun k (_ : func) ->
+      let with_body body =
+        let funcs =
+          List.mapi
+            (fun j (f : func) -> if j = k then { f with body } else f)
+            !current.funcs
+        in
+        { !current with funcs }
+      in
+      let check body =
+        incr evals;
+        !evals <= max_evals && pred (with_body body)
+      in
+      let f = List.nth !current.funcs k in
+      let body' = shrink_instrs check f.body in
+      if body' != f.body then current := with_body body')
+    m.funcs;
+  !current
+
+(* AST-level: first drop calls from the call sequence, then drop
+   trailing functions wholesale (a call to a dropped function would be
+   invalid, so functions are only dropped from the end, together with
+   their export and any table entry — easier: keep the module intact
+   and only shrink the *call list*; the module itself shrinks via the
+   byte reducer on its encoding when the failure is byte-reproducible). *)
+let case (pred : Gen.case -> bool) (c0 : Gen.case) : Gen.case =
+  let evals = ref 0 in
+  let check c =
+    incr evals;
+    !evals <= max_evals && pred c
+  in
+  let cur = ref c0 in
+  (* drop calls one at a time while the failure persists *)
+  let progressed = ref true in
+  while !progressed && !evals < max_evals do
+    progressed := false;
+    let calls = !cur.Gen.calls in
+    let n = List.length calls in
+    let i = ref 0 in
+    while !i < n && not !progressed do
+      let candidate =
+        { !cur with Gen.calls = List.filteri (fun j _ -> j <> !i) calls }
+      in
+      if candidate.Gen.calls <> [] && check candidate then begin
+        cur := candidate;
+        progressed := true
+      end
+      else incr i
+    done
+  done;
+  (* zero out arguments where the failure persists *)
+  let zero (v : Watz_wasm.Ast.value) : Watz_wasm.Ast.value =
+    match v with
+    | VI32 _ -> VI32 0l
+    | VI64 _ -> VI64 0L
+    | VF32 _ -> VF32 0.0
+    | VF64 _ -> VF64 0.0
+  in
+  List.iteri
+    (fun i (_, args) ->
+      List.iteri
+        (fun j arg ->
+          if !evals < max_evals && arg <> zero arg then begin
+            let calls' =
+              List.mapi
+                (fun i' (n', a') ->
+                  if i' = i then
+                    (n', List.mapi (fun j' v -> if j' = j then zero v else v) a')
+                  else (n', a'))
+                !cur.Gen.calls
+            in
+            let candidate = { !cur with Gen.calls = calls' } in
+            if check candidate then cur := candidate
+          end)
+        args)
+    !cur.Gen.calls;
+  !cur
+
+(** Full reduction of a failing generated case: minimize the call
+    sequence and arguments, then the function bodies. *)
+let deep_case (pred : Gen.case -> bool) (c0 : Gen.case) : Gen.case =
+  let c1 = case pred c0 in
+  let m' = module_bodies (fun m -> pred { c1 with Gen.module_ = m }) c1.Gen.module_ in
+  { c1 with Gen.module_ = m' }

@@ -57,6 +57,7 @@ module Reader = struct
   type t = { src : string; limit : int; mutable pos : int }
 
   exception Truncated
+  exception Overflow
 
   let of_string ?(pos = 0) ?len src =
     let limit =
@@ -104,11 +105,11 @@ module Reader = struct
           (* Final byte must not set bits beyond [max_bits]. *)
           let excess = used - max_bits in
           let high = (byte land 0x7f) lsr (7 - excess) in
-          if high <> 0 then invalid_arg "Reader.uleb: overflow"
+          if high <> 0 then raise Overflow
         end;
         acc
       end
-      else if shift + 7 >= max_bits then invalid_arg "Reader.uleb: overflow"
+      else if shift + 7 >= max_bits then raise Overflow
       else go (shift + 7) acc
     in
     go 0 0L
@@ -126,7 +127,7 @@ module Reader = struct
           Int64.logor acc (Int64.shift_left (-1L) used)
         else acc
       end
-      else if shift + 7 >= max_bits then invalid_arg "Reader.sleb: overflow"
+      else if shift + 7 >= max_bits then raise Overflow
       else go (shift + 7) acc
     in
     go 0 0L

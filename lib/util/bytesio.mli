@@ -29,6 +29,14 @@ module Reader : sig
   exception Truncated
   (** Raised when reading past the end of the input. *)
 
+  exception Overflow
+  (** Raised by {!uleb}/{!sleb} when a variable-length integer needs
+      more than [max_bits] bits (an overlong continuation chain, or a
+      final byte with payload bits beyond the limit). A typed sibling
+      of {!Truncated}, so untrusted-input decoders can translate both
+      into their own malformed-input error instead of leaking an
+      [Invalid_argument] out of a parsing hot path. *)
+
   val of_string : ?pos:int -> ?len:int -> string -> t
   val pos : t -> int
   val remaining : t -> int
@@ -39,8 +47,9 @@ module Reader : sig
   val u64 : t -> int64
 
   val uleb : t -> max_bits:int -> int64
-  (** ULEB128 decoding; raises [Invalid_argument] if the encoding needs
-      more than [max_bits] bits or is non-canonical in its final byte. *)
+  (** ULEB128 decoding; raises {!Overflow} if the encoding needs more
+      than [max_bits] bits or sets payload bits beyond them in its
+      final byte. *)
 
   val sleb : t -> max_bits:int -> int64
   val bytes : t -> int -> string

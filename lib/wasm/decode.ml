@@ -75,40 +75,47 @@ let blocktype r =
   | 0x7c -> BlockVal F64
   | b -> fail "unsupported block type 0x%02x" b
 
+(* Structured instructions nest recursively; bound the depth so a
+   mutated module full of 0x02 bytes exhausts neither this decoder's
+   stack nor the validator's/compilers' (they all recurse over the same
+   tree). 256 is far beyond anything a real toolchain emits. *)
+let max_nesting = 256
+
 (* Decoding a structured instruction sequence. Returns the list and the
    terminator (0x0b end, or 0x05 else). *)
-let rec instr_seq r =
+let rec instr_seq depth r =
+  if depth > max_nesting then fail "block nesting deeper than %d" max_nesting;
   let rec go acc =
     let op = R.u8 r in
     match op with
     | 0x0b -> (List.rev acc, `End)
     | 0x05 -> (List.rev acc, `Else)
-    | _ -> go (instr r op :: acc)
+    | _ -> go (instr depth r op :: acc)
   in
   go []
 
-and instr r op =
+and instr depth r op =
   match op with
   | 0x00 -> Unreachable
   | 0x01 -> Nop
   | 0x02 ->
     let bt = blocktype r in
-    let body, term = instr_seq r in
+    let body, term = instr_seq (depth + 1) r in
     if term <> `End then fail "block: unexpected else";
     Block (bt, body)
   | 0x03 ->
     let bt = blocktype r in
-    let body, term = instr_seq r in
+    let body, term = instr_seq (depth + 1) r in
     if term <> `End then fail "loop: unexpected else";
     Loop (bt, body)
   | 0x04 ->
     let bt = blocktype r in
-    let then_, term = instr_seq r in
+    let then_, term = instr_seq (depth + 1) r in
     let else_ =
       match term with
       | `End -> []
       | `Else ->
-        let e, term2 = instr_seq r in
+        let e, term2 = instr_seq (depth + 1) r in
         if term2 <> `End then fail "if: nested else";
         e
     in
@@ -235,7 +242,7 @@ and cvtop op =
   | _ -> assert false
 
 let expr r =
-  let body, term = instr_seq r in
+  let body, term = instr_seq 0 r in
   if term <> `End then fail "expression: unexpected else";
   body
 
@@ -273,11 +280,11 @@ let code_entry r =
   if not (R.eof body_reader) then fail "code entry: trailing bytes";
   (locals, body)
 
-let decode bytes =
-  let r = try R.of_string bytes with Invalid_argument _ -> fail "empty input" in
+let decode_inner bytes =
+  let r = R.of_string bytes in
   let magic = try R.bytes r 4 with R.Truncated -> fail "truncated magic" in
   if not (String.equal magic "\x00asm") then fail "bad magic";
-  let version = R.u32 r in
+  let version = try R.u32 r with R.Truncated -> fail "truncated version" in
   if not (Int32.equal version 1l) then fail "unsupported version %ld" version;
   let m = ref empty_module in
   let func_type_indices = ref [] in
@@ -372,3 +379,11 @@ let decode bytes =
       !code_entries
   in
   { !m with funcs }
+
+(* The decoder's error contract: any byte string maps to a module or a
+   [Malformed] — never [Invalid_argument], [Truncated] or a stack
+   overflow. The fuzz harness's byte mutator asserts exactly this. *)
+let decode bytes =
+  try decode_inner bytes with
+  | R.Truncated -> fail "unexpected end of input"
+  | R.Overflow -> fail "malformed LEB128 integer"

@@ -527,17 +527,25 @@ let absorb ~nloc (pending : op) (tail : op) : op option =
       | OStoreI32 _ -> OStoreI32RX (off, x, k, r, v)
       | OStoreF64 _ -> OStoreF64RX (off, x, k, r, v)
       | _ -> assert false)
-  (* -- compare-and-branch fusion ------------------------------------ *)
-  | OBrIf (c, e), OIRel32 (op, t, a, b) when t = c -> Some (OBrCmpR32 (op, a, b, e))
-  | OBrIf (c, e), OIRelI32 (op, t, a, imm) when t = c -> Some (OBrCmpI32 (op, a, imm, e))
-  | OBrIfNot (c, e), OIRel32 (op, t, a, b) when t = c ->
+  (* -- compare-and-branch fusion ------------------------------------
+        Guard: only fold a producer away when its destination [c] is a
+        dead stack slot. After local.set retargeting the producer's
+        destination can be a *local* (e.g. relop; local.set z;
+        local.get z; br_if folds down to OBrIf(z) with the retargeted
+        OIRel32 writing z as the trailing op) — folding that producer
+        into the branch would delete a live local store. *)
+  | OBrIf (c, e), OIRel32 (op, t, a, b) when t = c && stack_slot c ->
+    Some (OBrCmpR32 (op, a, b, e))
+  | OBrIf (c, e), OIRelI32 (op, t, a, imm) when t = c && stack_slot c ->
+    Some (OBrCmpI32 (op, a, imm, e))
+  | OBrIfNot (c, e), OIRel32 (op, t, a, b) when t = c && stack_slot c ->
     Some (OBrCmpR32 (negate_irelop op, a, b, e))
-  | OBrIfNot (c, e), OIRelI32 (op, t, a, imm) when t = c ->
+  | OBrIfNot (c, e), OIRelI32 (op, t, a, imm) when t = c && stack_slot c ->
     Some (OBrCmpI32 (negate_irelop op, a, imm, e))
-  | OBrIf (c, e), OTestI t when t = c -> Some (OBrIfNot (c, e))
-  | OBrIfNot (c, e), OTestI t when t = c -> Some (OBrIf (c, e))
-  | OBrIf (c, e), OMovI (t, s) when t = c -> Some (OBrIf (s, e))
-  | OBrIfNot (c, e), OMovI (t, s) when t = c -> Some (OBrIfNot (s, e))
+  | OBrIf (c, e), OTestI t when t = c && stack_slot c -> Some (OBrIfNot (c, e))
+  | OBrIfNot (c, e), OTestI t when t = c && stack_slot c -> Some (OBrIf (c, e))
+  | OBrIf (c, e), OMovI (t, s) when t = c && stack_slot c -> Some (OBrIf (s, e))
+  | OBrIfNot (c, e), OMovI (t, s) when t = c && stack_slot c -> Some (OBrIfNot (s, e))
   (* -- local.set retargeting: rewrite the producer's destination ----- *)
   | OMovI (z, s), OConstI (t, v) when t = s && stack_slot s -> Some (OConstI (z, v))
   | OMovI (z, s), OMovI (t, x) when t = s && stack_slot s -> Some (OMovI (z, x))

@@ -1,0 +1,53 @@
+(* Shared deterministic-replay discipline for every randomized suite.
+
+   All randomness in the test binary — fault schedules, storm
+   scheduling, QCheck generators, fuzz campaigns — derives from one
+   seed. Set WATZ_TEST_SEED=<int64> to replay a failing run exactly; on
+   any failure the wrappers below print the seed to copy into that
+   variable, so a red CI log always carries its own reproduction
+   command. *)
+
+let default_seed = 0xfa175eedL
+
+let seed =
+  match Sys.getenv_opt "WATZ_TEST_SEED" with
+  | None -> default_seed
+  | Some s -> (
+    match Int64.of_string_opt s with
+    | Some v -> v
+    | None -> Printf.ksprintf failwith "WATZ_TEST_SEED=%S is not an int64" s)
+
+let announce () =
+  if seed <> default_seed then
+    Printf.eprintf "[watz tests] running with WATZ_TEST_SEED=%Ld\n%!" seed
+
+let replay_hint name =
+  Printf.eprintf "\n[watz tests] %s failed; replay with WATZ_TEST_SEED=%Ld\n%!" name seed
+
+(* [replayable name f] is an Alcotest body running [f seed]; any failure
+   is tagged with the seed that reproduces it. *)
+let replayable name f () =
+  try f seed
+  with e ->
+    replay_hint name;
+    raise e
+
+(* Mix a per-suite tag into the shared seed so suites draw independent
+   streams while staying a pure function of WATZ_TEST_SEED. *)
+let derived tag = Int64.logxor seed (Int64.of_int (Hashtbl.hash tag))
+
+(* QCheck properties run from a generator state pinned to the shared
+   seed (per-property, via the test name), so a property failure
+   anywhere in the binary replays under the same WATZ_TEST_SEED — and
+   the failure message says so. *)
+let qcheck t =
+  let name = match t with QCheck2.Test.Test cell -> QCheck2.Test.get_name cell in
+  let rand = Random.State.make [| Int64.to_int (derived name) |] in
+  let n, speed, body = QCheck_alcotest.to_alcotest ~rand t in
+  ( n,
+    speed,
+    fun arg ->
+      try body arg
+      with e ->
+        replay_hint ("qcheck property " ^ name);
+        raise e )

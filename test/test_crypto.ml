@@ -667,7 +667,7 @@ let p256_encode_cached_stable () =
       (hex_of (P256.encode pt'))
 
 let case name f = Alcotest.test_case name `Quick f
-let q t = QCheck_alcotest.to_alcotest t
+let q = Seed_util.qcheck
 
 let suite =
   [

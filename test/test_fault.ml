@@ -220,7 +220,7 @@ let test_storm_perfect_is_clean () =
 
 (* --- QCheck properties ---------------------------------------------- *)
 
-let qcheck t = QCheck_alcotest.to_alcotest t
+let qcheck = Seed_util.qcheck
 
 (* Fresh sub-seed per generated case so schedules differ across cases
    while the whole battery stays a function of Test_seed.seed. *)

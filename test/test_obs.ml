@@ -13,11 +13,11 @@ module Storm = Watz.Storm
 (* The deterministic seed for the replay tests; override with
    WATZ_TEST_SEED to shake the schedule (the golden *sequence* is
    seed-independent under the perfect profile — only timestamps and
-   crypto bytes move, and neither enters the span ordering). *)
+   crypto bytes move, and neither enters the span ordering). The
+   parsing/announce logic lives in {!Seed_util}, shared by all suites;
+   this suite just derives its own stream from the one seed. *)
 let test_seed =
-  match Sys.getenv_opt "WATZ_TEST_SEED" with
-  | Some s -> Int64.of_string s
-  | None -> 0x901de2L
+  if Seed_util.seed = Seed_util.default_seed then 0x901de2L else Seed_util.seed
 
 (* ------------------------------------------------------------------ *)
 (* Tracer basics and the overhead contract *)
@@ -421,7 +421,7 @@ let test_phase_accounting () =
   Alcotest.(check int) "appraisal histogram counted" 1 (phase "appraisal").H.count
 
 let case name f = Alcotest.test_case name `Quick f
-let q t = QCheck_alcotest.to_alcotest t
+let q = Seed_util.qcheck
 
 let suite =
   [

@@ -1,27 +1,10 @@
 (* Deterministic-replay discipline for the randomized fault tests.
 
-   Every fault/storm test derives its randomness from [seed]. Set
-   WATZ_TEST_SEED=<int64> to replay a failing schedule exactly; on
-   failure the wrapper prints the seed to copy into that variable. *)
+   Thin compatibility alias over {!Seed_util}, the shared home of the
+   WATZ_TEST_SEED parsing/announce/replay-hint logic used by every
+   suite. New code should call Seed_util directly. *)
 
-let default_seed = 0xfa175eedL
-
-let seed =
-  match Sys.getenv_opt "WATZ_TEST_SEED" with
-  | None -> default_seed
-  | Some s -> (
-    match Int64.of_string_opt s with
-    | Some v -> v
-    | None -> Printf.ksprintf failwith "WATZ_TEST_SEED=%S is not an int64" s)
-
-let announce () =
-  if seed <> default_seed then
-    Printf.eprintf "[watz tests] running with WATZ_TEST_SEED=%Ld\n%!" seed
-
-(* [replayable name f] is an Alcotest body running [f seed]; any failure
-   is tagged with the seed that reproduces it. *)
-let replayable name f () =
-  try f seed
-  with e ->
-    Printf.eprintf "\n[watz tests] %s failed; replay with WATZ_TEST_SEED=%Ld\n%!" name seed;
-    raise e
+let default_seed = Seed_util.default_seed
+let seed = Seed_util.seed
+let announce = Seed_util.announce
+let replayable = Seed_util.replayable

@@ -700,8 +700,157 @@ let qcheck_codec_roundtrip_random =
       let m' = Decode.decode (Encode.encode m) in
       Encode.encode m' = Encode.encode m)
 
+(* ------------------------------------------------------------------ *)
+(* Numerics edge cases: every case runs on all three tiers (via
+   [check_result]/[expect_trap]), so these double as differential
+   pins on the trap/value boundaries the fuzzer probes randomly. *)
+
+let test_i32_trunc_f64_boundaries () =
+  let m = single_func ~params:[ F64 ] ~results:[ I32 ] [ LocalGet 0; Cvtop I32TruncF64S ] in
+  (* largest doubles that still truncate into range, then the first
+     ones past it *)
+  check_result m "f" [ VF64 2147483647.999 ] [ VI32 2147483647l ];
+  check_result m "f" [ VF64 (-2147483648.999) ] [ VI32 Int32.min_int ];
+  expect_trap m "f" [ VF64 2147483648.0 ] "integer overflow";
+  expect_trap m "f" [ VF64 (-2147483649.0) ] "integer overflow";
+  expect_trap m "f" [ VF64 Float.infinity ] "integer overflow";
+  expect_trap m "f" [ VF64 Float.nan ] "invalid conversion";
+  let mu = single_func ~params:[ F64 ] ~results:[ I32 ] [ LocalGet 0; Cvtop I32TruncF64U ] in
+  check_result mu "f" [ VF64 4294967295.999 ] [ VI32 (-1l) ];
+  check_result mu "f" [ VF64 (-0.999) ] [ VI32 0l ];
+  expect_trap mu "f" [ VF64 4294967296.0 ] "integer overflow";
+  expect_trap mu "f" [ VF64 (-1.0) ] "integer overflow"
+
+let test_i64_trunc_f64_boundaries () =
+  let m = single_func ~params:[ F64 ] ~results:[ I64 ] [ LocalGet 0; Cvtop I64TruncF64S ] in
+  (* largest double below 2^63 is in range; 2^63 itself traps; -2^63 is
+     exactly representable and allowed *)
+  check_result m "f" [ VF64 9223372036854774784.0 ] [ VI64 9223372036854774784L ];
+  expect_trap m "f" [ VF64 9.2233720368547758e18 ] "integer overflow";
+  check_result m "f" [ VF64 (-9.2233720368547758e18) ] [ VI64 Int64.min_int ];
+  expect_trap m "f" [ VF64 (-9.3e18) ] "integer overflow";
+  let mu = single_func ~params:[ F64 ] ~results:[ I64 ] [ LocalGet 0; Cvtop I64TruncF64U ] in
+  check_result mu "f" [ VF64 18446744073709549568.0 ] [ VI64 (-2048L) ];
+  expect_trap mu "f" [ VF64 1.8446744073709552e19 ] "integer overflow";
+  expect_trap mu "f" [ VF64 (-1.0) ] "integer overflow"
+
+let test_i32_trunc_f32_boundaries () =
+  let m = single_func ~params:[ F32 ] ~results:[ I32 ] [ LocalGet 0; Cvtop I32TruncF32S ] in
+  (* largest f32 below 2^31 is 2^31 - 128 *)
+  check_result m "f" [ VF32 2147483520.0 ] [ VI32 2147483520l ];
+  expect_trap m "f" [ VF32 2147483648.0 ] "integer overflow";
+  expect_trap m "f" [ VF32 Float.nan ] "invalid conversion"
+
+let test_i64_division_edges () =
+  let op o =
+    single_func ~params:[ I64; I64 ] ~results:[ I64 ] [ LocalGet 0; LocalGet 1; IBinop (I64, o) ]
+  in
+  expect_trap (op DivS) "f" [ VI64 Int64.min_int; VI64 (-1L) ] "integer overflow";
+  check_result (op RemS) "f" [ VI64 Int64.min_int; VI64 (-1L) ] [ VI64 0L ];
+  expect_trap (op DivS) "f" [ VI64 1L; VI64 0L ] "divide by zero";
+  expect_trap (op DivU) "f" [ VI64 1L; VI64 0L ] "divide by zero";
+  expect_trap (op RemS) "f" [ VI64 1L; VI64 0L ] "divide by zero";
+  expect_trap (op RemU) "f" [ VI64 1L; VI64 0L ] "divide by zero";
+  check_result (op DivU) "f" [ VI64 (-1L); VI64 2L ] [ VI64 Int64.max_int ];
+  check_result (op RemU) "f" [ VI64 (-1L); VI64 10L ] [ VI64 5L ]
+
+let test_shift_count_masking () =
+  let op32 o =
+    single_func ~params:[ I32; I32 ] ~results:[ I32 ] [ LocalGet 0; LocalGet 1; IBinop (I32, o) ]
+  in
+  check_result (op32 Shl) "f" [ VI32 1l; VI32 33l ] [ VI32 2l ];
+  check_result (op32 ShrS) "f" [ VI32 Int32.min_int; VI32 63l ] [ VI32 (-1l) ];
+  check_result (op32 ShrU) "f" [ VI32 Int32.min_int; VI32 32l ] [ VI32 Int32.min_int ];
+  let op64 o =
+    single_func ~params:[ I64; I64 ] ~results:[ I64 ] [ LocalGet 0; LocalGet 1; IBinop (I64, o) ]
+  in
+  check_result (op64 Shl) "f" [ VI64 1L; VI64 65L ] [ VI64 2L ];
+  check_result (op64 ShrS) "f" [ VI64 Int64.min_int; VI64 127L ] [ VI64 (-1L) ]
+
+let test_nan_bit_parity () =
+  (* The tiers must agree on NaN *bit patterns*, not just NaN-ness:
+     reinterpret the result so [run_both] compares exact bits. *)
+  let m =
+    single_func ~params:[] ~results:[ I64 ]
+      [ Const (VF64 0.0); Const (VF64 0.0); FBinop (F64, Fdiv); Cvtop I64ReinterpretF64 ]
+  in
+  ignore (run_both m "f" []);
+  let m2 =
+    single_func ~params:[ F64; F64 ] ~results:[ I64 ]
+      [ LocalGet 0; LocalGet 1; FBinop (F64, Fmin); Cvtop I64ReinterpretF64 ]
+  in
+  ignore (run_both m2 "f" [ VF64 Float.nan; VF64 1.0 ]);
+  ignore (run_both m2 "f" [ VF64 1.0; VF64 Float.nan ]);
+  ignore (run_both m2 "f" [ VF64 Float.infinity; VF64 Float.neg_infinity ]);
+  let m3 =
+    single_func ~params:[ F32; F32 ] ~results:[ I32 ]
+      [ LocalGet 0; LocalGet 1; FBinop (F32, Fdiv); Cvtop I32ReinterpretF32 ]
+  in
+  ignore (run_both m3 "f" [ VF32 0.0; VF32 0.0 ]);
+  ignore (run_both m3 "f" [ VF32 1.0; VF32 0.0 ])
+
+let test_wrap_extend_demote () =
+  let m = single_func ~params:[ I64 ] ~results:[ I32 ] [ LocalGet 0; Cvtop I32WrapI64 ] in
+  check_result m "f" [ VI64 0x1FFFFFFFFL ] [ VI32 (-1l) ];
+  check_result m "f" [ VI64 Int64.min_int ] [ VI32 0l ];
+  let ms = single_func ~params:[ I32 ] ~results:[ I64 ] [ LocalGet 0; Cvtop I64ExtendI32S ] in
+  check_result ms "f" [ VI32 (-1l) ] [ VI64 (-1L) ];
+  let mu = single_func ~params:[ I32 ] ~results:[ I64 ] [ LocalGet 0; Cvtop I64ExtendI32U ] in
+  check_result mu "f" [ VI32 (-1l) ] [ VI64 4294967295L ];
+  let md = single_func ~params:[ F64 ] ~results:[ F32 ] [ LocalGet 0; Cvtop F32DemoteF64 ] in
+  check_result md "f" [ VF64 1e39 ] [ VF32 Float.infinity ];
+  check_result md "f" [ VF64 (-1e39) ] [ VF32 Float.neg_infinity ]
+
+(* ------------------------------------------------------------------ *)
+(* Fastinterp fusion regressions: the branch-compare peephole used to
+   fold a producer into the branch even when local.set retargeting had
+   made the producer's destination a *local*, silently deleting the
+   store. Found by the fuzz harness (see test_fuzz.ml for the replay
+   seeds); these pin the exact instruction shapes. *)
+
+let test_brif_fusion_preserves_local_store () =
+  (* relop; local.set z; local.get z; br_if — z must hold the relop
+     result after the branch, taken or not *)
+  let m =
+    single_func ~params:[ I32 ] ~results:[ I32 ] ~locals:[ I32 ]
+      [ Block
+          ( BlockEmpty,
+            [ LocalGet 0; Builder.i32c 10; IRelop (I32, LtS); LocalSet 1; LocalGet 1; BrIf 0 ] );
+        LocalGet 1 ]
+  in
+  check_result m "f" [ VI32 5l ] [ VI32 1l ];
+  check_result m "f" [ VI32 50l ] [ VI32 0l ];
+  (* plain local.set z; local.get z; br_if (move-only producer) *)
+  let m2 =
+    single_func ~params:[ I32 ] ~results:[ I32 ] ~locals:[ I32 ]
+      [ Block (BlockEmpty, [ LocalGet 0; LocalSet 1; LocalGet 1; BrIf 0 ]); LocalGet 1 ]
+  in
+  check_result m2 "f" [ VI32 7l ] [ VI32 7l ];
+  check_result m2 "f" [ VI32 0l ] [ VI32 0l ];
+  (* eqz on the reloaded local, then br_if *)
+  let m3 =
+    single_func ~params:[ I32 ] ~results:[ I32 ] ~locals:[ I32 ]
+      [ Block
+          ( BlockEmpty,
+            [ LocalGet 0; Builder.i32c 3; IRelop (I32, Eq); LocalSet 1; LocalGet 1;
+              ITestop I32; BrIf 0 ] );
+        LocalGet 1 ]
+  in
+  check_result m3 "f" [ VI32 3l ] [ VI32 1l ];
+  check_result m3 "f" [ VI32 4l ] [ VI32 0l ]
+
+let test_if_fusion_preserves_local_store () =
+  (* the [If] else-edge is an OBrIfNot: same fusion path, same hazard *)
+  let m =
+    single_func ~params:[ I32 ] ~results:[ I32 ] ~locals:[ I32 ]
+      [ LocalGet 0; Builder.i32c 10; IRelop (I32, GtS); LocalSet 1; LocalGet 1;
+        If (BlockVal I32, [ LocalGet 1 ], [ Builder.i32c 42 ]) ]
+  in
+  check_result m "f" [ VI32 20l ] [ VI32 1l ];
+  check_result m "f" [ VI32 1l ] [ VI32 42l ]
+
 let case name f = Alcotest.test_case name `Quick f
-let q t = QCheck_alcotest.to_alcotest t
+let q = Seed_util.qcheck
 
 let suite =
   [
@@ -757,6 +906,21 @@ let suite =
         case "rejects bad memory use" test_validator_rejects_bad_memory_use;
         case "accepts unreachable code" test_validator_accepts_unreachable_code;
         case "rejects immutable global set" test_validator_rejects_immutable_global_set;
+      ] );
+    ( "wasm.numerics",
+      [
+        case "i32<-f64 trunc boundaries" test_i32_trunc_f64_boundaries;
+        case "i64<-f64 trunc boundaries" test_i64_trunc_f64_boundaries;
+        case "i32<-f32 trunc boundaries" test_i32_trunc_f32_boundaries;
+        case "i64 division edges" test_i64_division_edges;
+        case "shift count masking" test_shift_count_masking;
+        case "NaN bit parity" test_nan_bit_parity;
+        case "wrap/extend/demote" test_wrap_extend_demote;
+      ] );
+    ( "wasm.fusion",
+      [
+        case "br_if keeps local store" test_brif_fusion_preserves_local_store;
+        case "if keeps local store" test_if_fusion_preserves_local_store;
       ] );
     ("wasm.differential", [ q qcheck_differential ]);
   ]

@@ -445,7 +445,7 @@ let test_bigapp_size_and_runs () =
   | _ -> Alcotest.fail "_start should return nothing"
 
 let case name f = Alcotest.test_case name `Quick f
-let q t = QCheck_alcotest.to_alcotest t
+let q = Seed_util.qcheck
 
 let suite =
   [
