@@ -640,6 +640,114 @@ let attest_storm () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* The attested mesh: cached evidence + session-ticket resumption.
+   One storm per scenario — clean resumption, lossy, lossy under full
+   churn (reboots, attestation-key rotation, STEK rotation, module
+   updates) — comparing full-handshake vs 1-RTT-resume establishment
+   latency, plus a federated 4-shard run whose merged evidence cache
+   must be independent of chunk arrival order. With --json, writes
+   BENCH_mesh.json. Hard gates: every scenario completes >= 99%, and
+   on the clean profile resumed p95 <= 0.5 x full p95 — resumption
+   that isn't at least twice as fast at the tail is not paying for
+   its ticket machinery. *)
+
+let mesh () =
+  section "Attested mesh - evidence cache and session-ticket resumption";
+  let module MS = Watz_mesh.Mesh_storm in
+  let module MF = Watz_mesh.Mesh_fleet in
+  let module H = Watz_obs.Metrics.Histogram in
+  let sessions = if smoke || quick then 48 else 128 in
+  let seed = 0xa77e57L in
+  let failures = ref [] in
+  let json = Buffer.create 2048 in
+  Buffer.add_string json "{\n  \"scenarios\": {\n";
+  let pctls h =
+    if H.count h = 0 then (0.0, 0.0, 0.0)
+    else
+      let s = H.summarize h in
+      (ns_to_ms s.H.p50, ns_to_ms s.H.p95, ns_to_ms s.H.p99)
+  in
+  let scenarios =
+    [ ("clean", Watz_tz.Net.perfect, MS.no_churn);
+      ("lossy", Watz_tz.Net.lossy, MS.no_churn);
+      ("lossy-churn", Watz_tz.Net.lossy, MS.default_churn) ]
+  in
+  Printf.printf "  %d sessions per scenario, seed %Ld\n" sessions seed;
+  Printf.printf "  %-12s %8s %5s %10s %9s %9s %9s %9s %9s\n" "scenario" "resumed" "full"
+    "fallbacks" "hit-rate" "full-p50" "full-p95" "res-p50" "res-p95";
+  let n_scenarios = List.length scenarios in
+  List.iteri
+    (fun i (name, profile, churn) ->
+      let config = { MS.default_config with MS.sessions; seed; profile; churn } in
+      let r = MS.run ~config () in
+      let f50, f95, f99 = pctls r.MS.full_latency in
+      let r50, r95, r99 = pctls r.MS.resumed_latency in
+      Printf.printf "  %-12s %8d %5d %10d %8.1f%% %7.2fms %7.2fms %7.2fms %7.2fms\n" name
+        r.MS.completed_resumed r.MS.completed_full r.MS.fallbacks
+        (100.0 *. r.MS.cache_hit_rate) f50 f95 r50 r95;
+      Buffer.add_string json
+        (Printf.sprintf
+           "    \"%s\": { \"sessions\": %d, \"completed_resumed\": %d, \"completed_full\": \
+            %d, \"fallbacks\": %d, \"aborted\": %d, \"cache_hit_rate\": %.3f, \
+            \"tickets_minted\": %d, \"full\": { \"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": \
+            %.3f, \"p99_ms\": %.3f }, \"resumed\": { \"count\": %d, \"p50_ms\": %.3f, \
+            \"p95_ms\": %.3f, \"p99_ms\": %.3f } }%s\n"
+           name sessions r.MS.completed_resumed r.MS.completed_full r.MS.fallbacks r.MS.aborted
+           r.MS.cache_hit_rate r.MS.tickets_minted (H.count r.MS.full_latency) f50 f95 f99
+           (H.count r.MS.resumed_latency) r50 r95 r99
+           (if i < n_scenarios - 1 then "," else ""));
+      if MS.completion_rate r < 0.99 then
+        failures :=
+          Printf.sprintf "%s: completion %.1f%% < 99%%" name (100.0 *. MS.completion_rate r)
+          :: !failures;
+      if r.MS.stray_frames > 0 then
+        failures := Printf.sprintf "%s: %d stray frames" name r.MS.stray_frames :: !failures;
+      if String.equal name "clean" then begin
+        if r.MS.completed_resumed = 0 then failures := "clean: no session resumed" :: !failures
+        else if r95 > 0.5 *. f95 then
+          failures :=
+            Printf.sprintf "clean: resumed p95 %.2fms > 0.5 x full p95 %.2fms" r95 f95
+            :: !failures
+      end)
+    scenarios;
+  Buffer.add_string json "  },\n";
+  (* federation: shards re-resume against each other's cached evidence *)
+  let fcfg =
+    if smoke || quick then
+      { MF.default_config with MF.shards = 2; sessions_per_shard = 8; population_per_shard = 4 }
+    else MF.default_config
+  in
+  let fr = MF.run ~config:fcfg () in
+  let order_free = String.equal fr.MF.merge_digest fr.MF.merge_digest_reversed in
+  Printf.printf
+    "  federation: %d shards | merged entries %d | chunks %d | order-free %b | cross-shard \
+     resumes %d\n"
+    fr.MF.shards fr.MF.merged_entries fr.MF.chunks_streamed order_free fr.MF.cross_resumes;
+  Buffer.add_string json
+    (Printf.sprintf
+       "  \"federation\": { \"shards\": %d, \"merged_entries\": %d, \"chunks_streamed\": %d, \
+        \"merge_order_free\": %b, \"cross_resumes\": %d, \"wave2_full\": %d, \
+        \"wave2_fallbacks\": %d }\n"
+       fr.MF.shards fr.MF.merged_entries fr.MF.chunks_streamed order_free fr.MF.cross_resumes
+       fr.MF.wave2_full fr.MF.wave2_fallbacks);
+  Buffer.add_string json "}\n";
+  if not order_free then
+    failures := "federation: merged cache depends on chunk arrival order" :: !failures;
+  if fr.MF.cross_resumes = 0 then
+    failures := "federation: no cross-shard resumption succeeded" :: !failures;
+  if json_out then begin
+    let oc = open_out "BENCH_mesh.json" in
+    output_string oc (Buffer.contents json);
+    close_out oc;
+    Printf.printf "  wrote BENCH_mesh.json\n"
+  end;
+  match !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "  FAIL: %s\n" f) fs;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* The fleet scaling curve: the lossy 64-session storm at shards =
    1, 2, 4, 8, wall-clock sessions/sec and speedup over shards=1. The
    shards run genuinely in parallel (one domain per shard), so the
@@ -1111,7 +1219,8 @@ let all_targets =
     ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("table2", table2);
     ("table3", table3); ("fig7", fig7); ("table4", table4); ("fig8", fig8);
     ("aot-ablation", aot_ablation); ("fast-ablation", fast_ablation);
-    ("attest-storm", attest_storm); ("fleet", fleet); ("crypto", crypto); ("micro", micro);
+    ("attest-storm", attest_storm); ("mesh", mesh); ("fleet", fleet); ("crypto", crypto);
+    ("micro", micro);
   ]
 
 (* [record] is invocable by name but not part of the default sweep —

@@ -254,7 +254,107 @@ let attest_storm_cmd =
                 instead of stepping every session every tick."
                names))
   in
-  let run sessions seed profile_name smoke trace_file shards metrics_file sched_name =
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Run the attested service mesh instead of the classic storm: an open-loop \
+                arrival process where attesters holding a session ticket resume in one \
+                round trip and fall back to the full handshake on any reject. With \
+                $(b,--shards), runs the federated mesh fleet (shared ticket key, merged \
+                evidence cache, cross-shard resumption).")
+  in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"With $(b,--resume): inject churn — attester reboots, attestation-key \
+                rotation, ticket-key rotation and module updates on interleaved periods.")
+  in
+  let population =
+    Arg.(
+      value & opt int 16
+      & info [ "population" ] ~docv:"N"
+          ~doc:"With $(b,--resume): distinct attester identities behind the arrivals.")
+  in
+  let run_mesh ~sessions ~seed ~profile ~profile_name ~smoke ~shards ~metrics_file ~churn
+      ~population =
+    let tampering = List.mem profile_name [ "corrupt"; "truncate"; "mitm-flip" ] in
+    if shards > 1 then begin
+      let config =
+        {
+          Watz_mesh.Mesh_fleet.default_config with
+          Watz_mesh.Mesh_fleet.shards;
+          sessions_per_shard = max 1 (sessions / shards);
+          population_per_shard = max 1 (population / shards);
+          seed;
+          profile;
+        }
+      in
+      let r = Watz_mesh.Mesh_fleet.run ~config () in
+      (match metrics_file with
+      | Some path ->
+        Watz_obs.Export.write_file path
+          (Watz_obs.Export.metrics_to_json r.Watz_mesh.Mesh_fleet.metrics);
+        Printf.printf "metrics: %s\n" path
+      | None -> ());
+      Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed
+        Watz_mesh.Mesh_fleet.pp_report r;
+      if not (String.equal r.Watz_mesh.Mesh_fleet.merge_digest
+                r.Watz_mesh.Mesh_fleet.merge_digest_reversed)
+      then begin
+        Printf.eprintf "FAIL: federated cache merge depends on chunk arrival order\n";
+        exit 1
+      end;
+      if (not tampering) && r.Watz_mesh.Mesh_fleet.cross_resumes = 0 then begin
+        Printf.eprintf "FAIL: no cross-shard resumption succeeded\n";
+        exit 1
+      end
+    end
+    else begin
+      let module MS = Watz_mesh.Mesh_storm in
+      let config =
+        {
+          MS.default_config with
+          MS.sessions = (if smoke then min sessions 16 else sessions);
+          population;
+          seed;
+          profile;
+          churn = (if churn then MS.default_churn else MS.no_churn);
+        }
+      in
+      let r = MS.run ~config () in
+      (match metrics_file with
+      | Some path ->
+        Watz_obs.Export.write_file path (Watz_obs.Export.metrics_to_json r.MS.metrics);
+        Printf.printf "metrics: %s\n" path
+      | None -> ());
+      Format.printf "profile %s (seed %Ld)@\n%a@." profile_name seed MS.pp_report r;
+      (* An attester only counts itself resumed after authenticating the
+         accept under the resumption secret, so more attester-side
+         resumes than server-side acceptances means a forged acceptance
+         got through. *)
+      let counter name = Option.value ~default:0 (List.assoc_opt name r.MS.server) in
+      let server_accepts = counter "resumes_accepted" + counter "retransmits_answered" in
+      if r.MS.completed_resumed > server_accepts then begin
+        Printf.eprintf "FAIL: %d resumed sessions but only %d server-side acceptances — \
+                        a forged resume acceptance was accepted\n"
+          r.MS.completed_resumed server_accepts;
+        exit 1
+      end;
+      if (not tampering) && MS.completion_rate r < 0.99 then begin
+        Printf.eprintf "FAIL: completion rate %.1f%% below 99%%\n"
+          (100.0 *. MS.completion_rate r);
+        exit 1
+      end;
+      if (not tampering) && r.MS.stray_frames > 0 then begin
+        Printf.eprintf "FAIL: %d stray frames after session completion\n" r.MS.stray_frames;
+        exit 1
+      end
+    end
+  in
+  let run sessions seed profile_name smoke trace_file shards metrics_file sched_name resume
+      churn population =
     match (Watz.Storm.profile_named profile_name, Watz.Storm.sched_mode_named sched_name) with
     | None, _ ->
       Printf.eprintf "unknown profile %S; known: %s\n" profile_name
@@ -264,6 +364,11 @@ let attest_storm_cmd =
       Printf.eprintf "unknown sched mode %S; known: %s\n" sched_name
         (String.concat ", " (List.map fst Watz.Storm.sched_modes));
       exit 2
+    | Some profile, Some _ when resume ->
+      if Option.is_some trace_file then
+        Printf.eprintf "note: --trace applies to the classic storm; ignored with --resume\n";
+      run_mesh ~sessions ~seed ~profile ~profile_name ~smoke ~shards ~metrics_file ~churn
+        ~population
     | Some profile, Some sched ->
       let sessions = if smoke then min sessions 8 else sessions in
       (* Under non-tampering profiles, not completing is a failure. *)
@@ -329,7 +434,8 @@ let attest_storm_cmd =
        ~doc:"Run many concurrent attestation sessions over a fault-injected network, \
              optionally as a domain-sharded verifier fleet ($(b,--shards))")
     Term.(
-      const run $ sessions $ seed $ profile $ smoke $ trace_file $ shards $ metrics_file $ sched)
+      const run $ sessions $ seed $ profile $ smoke $ trace_file $ shards $ metrics_file $ sched
+      $ resume $ churn $ population)
 
 let verify_protocol_cmd =
   let run () =

@@ -165,6 +165,13 @@ module Attester = struct
 
   let meter t = t.meter
 
+  (** The resumption master secret: a session-ticket layer (lib/mesh)
+      derives resume keys from it instead of re-running the handshake.
+      Derivable by both endpoints from the session KDK once msg1 has
+      been processed, so it never travels on the wire. *)
+  let resumption_secret t =
+    Option.map (fun s -> C.Kdf.derive_label ~kdk:s.C.Kdf.kdk "WZ-MESH-RMS") t.session
+
   let msg0 t =
     tspan t.trace t.sid "ra.msg0_build" (fun () ->
         timed t.meter Mem (fun () -> C.P256.encode t.keys.C.Ecdh.pub))
@@ -336,6 +343,12 @@ module Verifier = struct
 
   let meter s = s.meter
 
+  (** Verifier side of {!Attester.resumption_secret}: same KDK, same
+      label, so both ends hold the same 16-byte secret without ever
+      sending it. *)
+  let resumption_secret session =
+    C.Kdf.derive_label ~kdk:session.session_keys.C.Kdf.kdk "WZ-MESH-RMS"
+
   (** A byte-identical copy of the msg0 that opened this session: the
       attester never saw msg1 and is retransmitting; answer from cache. *)
   let is_msg0_retransmit session raw = String.equal raw session.ga_raw
@@ -408,8 +421,17 @@ module Verifier = struct
       server passes the precomputed verdict from
       {!Watz_crypto.Ecdsa.verify_batch} (having extracted the check via
       {!msg2_verify_triple}), keeping every other appraisal step — and
-      the traced span structure — byte-identical to the inline path. *)
-  let handle_msg2_with ~verify session ~random raw : (string, error) result =
+      the traced span structure — byte-identical to the inline path.
+
+      [augment evidence] returns extra bytes appended to the secret
+      blob inside msg3's authenticated encryption — the hook the
+      session-ticket layer uses to deliver a resumption ticket under
+      the session's confidentiality without an extra round trip. It is
+      called exactly once, after the evidence has been accepted. The
+      default appends nothing, leaving msg3 byte-identical to the
+      un-augmented protocol. *)
+  let handle_msg2_with ?(augment = fun (_ : Evidence.signed) -> "") ~verify session ~random raw
+      : (string, error) result =
     match session.msg2_cache with
     | Some (prev, m3) when String.equal prev raw ->
       T.instant session.trace T.Secure ~session:session.sid "ra.retransmit_msg2";
@@ -464,11 +486,11 @@ module Verifier = struct
           else begin
             session.accepted_evidence <- Some evidence;
             let iv = random iv_len in
+            let plain = session.policy.secret_blob ^ augment evidence in
             let ct, gcm_tag =
               tspan session.trace session.sid "crypto.aes_gcm_encrypt" (fun () ->
                   timed session.meter Sym (fun () ->
-                      C.Gcm.encrypt ~key:session.session_keys.C.Kdf.k_e ~iv
-                        session.policy.secret_blob))
+                      C.Gcm.encrypt ~key:session.session_keys.C.Kdf.k_e ~iv plain))
             in
             let m3 = iv ^ ct ^ gcm_tag in
             session.msg2_cache <- Some (raw, m3);
@@ -478,8 +500,8 @@ module Verifier = struct
       end
     end
 
-  let handle_msg2 session ~random raw : (string, error) result =
-    handle_msg2_with ~verify:Evidence.verify_signature_with session ~random raw
+  let handle_msg2 ?augment session ~random raw : (string, error) result =
+    handle_msg2_with ?augment ~verify:Evidence.verify_signature_with session ~random raw
 
   (** The evidence-signature check [handle_msg2 session raw] would run,
       as an [(endorsed key, signed bytes, signature)] triple — or [None]

@@ -199,17 +199,160 @@ let verdict_to_string = function
    module that decodes AND validates must also survive a re-encode →
    re-decode → re-validate roundtrip (the verdict every execution tier
    consumes is the same front door, so verdict stability is what keeps
-   the tiers fed identically). Mutants are deliberately NOT executed:
-   a byte flip can turn a bounded loop into an unbounded one, and
-   execution has no fuel limit — termination is only guaranteed for
-   modules built by {!Gen}. *)
+   the tiers fed identically). Accepted mutants can additionally be
+   {e executed} differentially under {!Instance.Fuel} ([~exec]): a
+   byte flip can turn a bounded loop into an unbounded one, so each
+   exported nullary call runs under an engine-fuel budget, all tiers
+   charge the same edges (loop iterations, function entries), and
+   [Exhausted ≡ Exhausted] — a mutant that terminates nowhere still
+   compares tier-identically. *)
 
 type decode_verdict =
   | Rejected (* typed rejection: fine *)
   | Accepted
   | Decoder_crash of string
+  | Exec_diverged of string (* accepted mutant executed differently across tiers *)
 
-let run_bytes (bytes : string) : decode_verdict =
+(* ---- Fuel-limited execution of accepted mutants. Unlike {!run_case}
+   these modules come from the byte mutator, so nothing bounds their
+   loops (engine fuel does), their memories (a page cap and a TEE-style
+   byte limit do) or their call surface (only nullary exports, capped). *)
+
+let exec_fuel_budget = 25_000 (* per start function / exported call *)
+let max_exec_calls = 8
+let max_exec_mem_pages = 64 (* skip modules declaring > 4 MiB up front *)
+let exec_mem_limit_bytes = 16 * 1024 * 1024 (* memory.grow ceiling, as in a TEE heap *)
+
+let mem_too_big (m : module_) =
+  List.exists (fun (l : Types.limits) -> l.min > max_exec_mem_pages) m.memories
+  || List.exists
+       (fun (imp : import) ->
+         match imp.idesc with
+         | ImportMemory l -> l.min > max_exec_mem_pages
+         | ImportFunc _ | ImportTable _ | ImportGlobal _ -> false)
+       m.imports
+
+(* Exported functions of type [] -> *, in export order. *)
+let nullary_exports (m : module_) =
+  let types = Array.of_list m.types in
+  let imported =
+    List.filter_map
+      (fun (imp : import) ->
+        match imp.idesc with
+        | ImportFunc tidx -> Some types.(tidx)
+        | ImportTable _ | ImportMemory _ | ImportGlobal _ -> None)
+      m.imports
+  in
+  let all = Array.of_list (imported @ List.map (fun (f : func) -> types.(f.ftype)) m.funcs) in
+  let nullary =
+    List.filter_map
+      (fun (e : export) ->
+        match e.edesc with
+        | ExportFunc i when i < Array.length all && all.(i).params = [] -> Some e.exp_name
+        | _ -> None)
+      m.exports
+  in
+  List.filteri (fun i _ -> i < max_exec_calls) nullary
+
+(* Instantiate-time failures are typed per kind, not per message: the
+   tiers phrase link errors independently and that wording is not part
+   of the spec'd behaviour being differentially tested. *)
+type exec_result =
+  | X_outs of outcome list (* start outcome :: call outcomes *)
+  | X_reject of string (* typed instantiate rejection kind *)
+  | X_crash of string
+
+let exec_result_equal a b =
+  match (a, b) with
+  | X_outs xs, X_outs ys -> List.length xs = List.length ys && List.for_all2 outcome_equal xs ys
+  | X_reject x, X_reject y -> String.equal x y
+  | _ -> false
+
+let exec_result_to_string = function
+  | X_outs outs -> "[" ^ String.concat "; " (List.map outcome_to_string outs) ^ "]"
+  | X_reject k -> "reject: " ^ k
+  | X_crash m -> "CRASH: " ^ m
+
+let under_fuel f = Instance.Fuel.with_fuel exec_fuel_budget f
+
+let exec_tier (go : unit -> outcome list) : exec_result =
+  match go () with
+  | outs -> X_outs outs
+  | exception Instance.Link_error _ -> X_reject "link"
+  | exception Instance.Exhaustion _ -> X_reject "exhausted"
+  | exception Instance.Trap _ -> X_reject "trap"
+  | exception Stack_overflow -> X_crash "stack overflow"
+  | exception e -> X_crash (Printexc.to_string e)
+
+let limit_memories mems =
+  Array.iter (fun mem -> Instance.Memory.set_limit_bytes mem (Some exec_mem_limit_bytes)) mems
+
+(** Differentially execute a validated mutant. [None] = tiers agree and
+    nothing crashed; [Some detail] is a finding. *)
+let exec_mutant (m : module_) : string option =
+  let calls = nullary_exports m in
+  let tiers =
+    [
+      ( "interp",
+        fun () ->
+          let inst = Instance.instantiate m in
+          limit_memories inst.Instance.memories;
+          let start = catching (fun () -> under_fuel (fun () -> Interp.run_start inst); []) in
+          start
+          :: List.map
+               (fun name ->
+                 catching (fun () ->
+                     match Instance.export_func inst name with
+                     | Some f -> under_fuel (fun () -> Interp.invoke f [])
+                     | None -> raise (Instance.Link_error ("no export " ^ name))))
+               calls );
+      ( "fast",
+        fun () ->
+          let finst = Fastinterp.instantiate (Fastinterp.compile ~fuel:true m) in
+          limit_memories finst.Fastinterp.fmemories;
+          let start = catching (fun () -> under_fuel (fun () -> Fastinterp.run_start finst); []) in
+          start
+          :: List.map
+               (fun name -> catching (fun () -> under_fuel (fun () -> Fastinterp.invoke finst name [])))
+               calls );
+      ( "aot",
+        fun () ->
+          let rinst = Aot.instantiate ~fuel:true m in
+          limit_memories rinst.Aot.rmemories;
+          let start = catching (fun () -> under_fuel (fun () -> Aot.run_start rinst m); []) in
+          start
+          :: List.map (fun name -> catching (fun () -> under_fuel (fun () -> Aot.invoke rinst name [])))
+               calls );
+    ]
+  in
+  let results = List.map (fun (name, go) -> (name, exec_tier go)) tiers in
+  let crash =
+    List.find_map
+      (fun (name, r) ->
+        match r with
+        | X_crash d -> Some (Printf.sprintf "crash in %s: %s" name d)
+        | X_outs outs ->
+          List.find_map
+            (function
+              | Crash d -> Some (Printf.sprintf "crash in %s: %s" name d) | _ -> None)
+            outs
+        | X_reject _ -> None)
+      results
+  in
+  match (crash, results) with
+  | Some d, _ -> Some d
+  | None, (na, a) :: rest ->
+    List.find_map
+      (fun (nb, b) ->
+        if exec_result_equal a b then None
+        else
+          Some
+            (Printf.sprintf "exec divergence: %s=%s vs %s=%s" na (exec_result_to_string a) nb
+               (exec_result_to_string b)))
+      rest
+  | None, [] -> None
+
+let run_bytes ?(exec = false) (bytes : string) : decode_verdict =
   match Decode.decode bytes with
   | exception Decode.Malformed _ -> Rejected
   | exception e -> Decoder_crash ("decode: " ^ Printexc.to_string e)
@@ -228,4 +371,9 @@ let run_bytes (bytes : string) : decode_verdict =
           match Validate.validate m' with
           | exception e ->
             Decoder_crash ("re-validate of accepted module: " ^ Printexc.to_string e)
-          | () -> Accepted))))
+          | () ->
+            if exec && not (mem_too_big m) then
+              match exec_mutant m with
+              | Some detail -> Exec_diverged detail
+              | None -> Accepted
+            else Accepted))))

@@ -115,7 +115,7 @@ let decode_case cs =
       Mutate.mutate rng (Watz_wasm.Encode.encode case.Gen.module_)
     end
   in
-  match Diff.run_bytes bytes with
+  match Diff.run_bytes ~exec:true bytes with
   | Diff.Rejected | Diff.Accepted -> None
   | Diff.Decoder_crash _ ->
     let crashes b =
@@ -126,6 +126,20 @@ let decode_case cs =
       match Diff.run_bytes shrunk with
       | Diff.Decoder_crash d -> d
       | _ -> "crash (unstable under shrinking)"
+    in
+    Some { f_target = Decode; f_case_seed = cs; f_desc = desc; f_payload = shrunk }
+  | Diff.Exec_diverged _ ->
+    (* Shrink while the mutant still executes differently across tiers
+       (any divergence — chasing one specific message over-constrains
+       the shrinker). *)
+    let diverges b =
+      match Diff.run_bytes ~exec:true b with Diff.Exec_diverged _ -> true | _ -> false
+    in
+    let shrunk = Shrink.bytes diverges bytes in
+    let desc =
+      match Diff.run_bytes ~exec:true shrunk with
+      | Diff.Exec_diverged d -> d
+      | _ -> "exec divergence (unstable under shrinking)"
     in
     Some { f_target = Decode; f_case_seed = cs; f_desc = desc; f_payload = shrunk }
 
@@ -255,9 +269,9 @@ let replay_entry (e : Corpus.entry) : (unit, string) result =
   | None -> Error ("unknown corpus target: " ^ e.Corpus.target)
   | Some Decode -> (
     (* the payload bytes are the reproducer *)
-    match Diff.run_bytes e.Corpus.payload with
+    match Diff.run_bytes ~exec:true e.Corpus.payload with
     | Diff.Rejected | Diff.Accepted -> Ok ()
-    | Diff.Decoder_crash d -> Error d)
+    | Diff.Decoder_crash d | Diff.Exec_diverged d -> Error d)
   | Some Modgen -> (
     match modgen_case ~shrink:false e.Corpus.seed with None -> Ok () | Some f -> Error f.f_desc)
   | Some Crypto -> (

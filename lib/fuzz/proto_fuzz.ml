@@ -23,7 +23,16 @@
       dropped or duplicated stages). {!Watz_tz.Boot.verify} must return
       a typed verdict, and may only accept a chain byte-identical to
       the genuine one — anything else accepted is a signature-check
-      bypass. *)
+      bypass.
+
+    - {b mesh resumption}: mint a legitimate session ticket and
+      resume0 frame, then mutate the ticket, the frame, the resume
+      accept or a sub-claim. A mutant must never resume (or verify)
+      unless byte-identical to the genuine bytes; expired and
+      key-rotated tickets must reject with exactly their taxonomy
+      reason; a stolen ticket presented under another attester id must
+      fail the sealed-identity check even when the thief knows the
+      resumption secret. *)
 
 module Prng = Watz_util.Prng
 module P = Watz_attest.Protocol
@@ -258,10 +267,132 @@ let boot_round seed rng : (unit, string) result =
       | _ -> Ok ()
     end)
 
+(* ------------------------------------------------------------------ *)
+(* Mesh resumption fuzzing: tickets, resume frames, sub-claims *)
+
+module Ticket = Watz_mesh.Ticket
+module Resume = Watz_mesh.Resume
+module Hier = Watz_mesh.Hier
+
+(* The verifier's resume0 acceptance pipeline, minus policy and cache:
+   a frame resumes only if it parses, its ticket redeems under the
+   current master, the presented id matches the sealed one and the
+   binding MAC verifies under the sealed rms. *)
+let resume_accepts master ~now_ns frame =
+  match Resume.parse_resume0 frame with
+  | None -> None
+  | Some r -> (
+    match Ticket.redeem master ~now_ns r.Resume.r_ticket with
+    | Error _ -> None
+    | Ok body ->
+      if not (String.equal body.Ticket.attester_id r.Resume.r_attester_id) then None
+      else if not (Resume.check_binding ~rms:body.Ticket.rms r) then None
+      else Some body)
+
+let mesh_round seed rng : (unit, string) result =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let random n = Prng.bytes rng n in
+  let master = Ticket.make ~seed:(Printf.sprintf "fuzz-stek-%Ld" seed) in
+  let rms = random 16 in
+  let attester_id = random 32 in
+  let claim = random 32 in
+  let boot = random 32 in
+  let now = 1_000_000_000L in
+  let ttl = 30_000_000_000L in
+  let ticket =
+    Ticket.mint master ~random ~now_ns:now ~ttl_ns:ttl ~attester_id ~claim ~boot ~rms
+  in
+  let nonce_a = random Resume.nonce_len in
+  let resume0 = Resume.build_resume0 ~rms ~attester_id ~nonce_a ~ticket in
+  let later = Int64.add now 1L in
+  match resume_accepts master ~now_ns:later resume0 with
+  | exception e ->
+    fail "resume pipeline crashed on the genuine frame: %s" (Printexc.to_string e)
+  | None -> fail "genuine resume0 rejected"
+  | Some _ -> (
+    match Prng.int rng 7 with
+    | 0 -> (
+      (* whole-frame mutation: only the byte-identical frame resumes *)
+      let mutant = Mutate.mutate rng resume0 in
+      match resume_accepts master ~now_ns:later mutant with
+      | exception e ->
+        fail "resume pipeline crashed on mutated resume0: %s" (Printexc.to_string e)
+      | Some _ when not (String.equal mutant resume0) ->
+        fail "forged resume0 accepted (%d bytes)" (String.length mutant)
+      | _ -> Ok ())
+    | 1 -> (
+      (* mutate the sealed ticket, then bind it honestly (the presenter
+         knows rms): the ticket's own seal must stop the resume *)
+      let tmutant = Mutate.mutate rng ticket in
+      let frame = Resume.build_resume0 ~rms ~attester_id ~nonce_a ~ticket:tmutant in
+      match resume_accepts master ~now_ns:later frame with
+      | exception e -> fail "ticket redeem crashed on mutant: %s" (Printexc.to_string e)
+      | Some _ when not (String.equal tmutant ticket) ->
+        fail "forged ticket redeemed (%d bytes)" (String.length tmutant)
+      | _ -> Ok ())
+    | 2 -> (
+      (* at or past expires_ns the ticket is dead, with the exact reason *)
+      let at = Int64.add now (Int64.add ttl (Int64.of_int (Prng.int rng 1000))) in
+      match Ticket.redeem master ~now_ns:at ticket with
+      | Ok _ -> fail "expired ticket redeemed"
+      | Error Ticket.Expired -> Ok ()
+      | Error r -> fail "expired ticket rejected as %s" (Ticket.reject_to_string r))
+    | 3 -> (
+      (* key rotation invalidates every outstanding ticket *)
+      let spins = 1 + Prng.int rng 3 in
+      for _ = 1 to spins do
+        Ticket.rotate master
+      done;
+      match Ticket.redeem master ~now_ns:later ticket with
+      | Ok _ -> fail "ticket redeemed after %d key rotation(s)" spins
+      | Error Ticket.Rotated -> Ok ()
+      | Error r -> fail "rotated ticket rejected as %s" (Ticket.reject_to_string r))
+    | 4 -> (
+      (* cross-attester replay: a thief presents the stolen ticket
+         under its own id, even knowing the resumption secret *)
+      let thief = random 32 in
+      let frame = Resume.build_resume0 ~rms ~attester_id:thief ~nonce_a ~ticket in
+      match resume_accepts master ~now_ns:later frame with
+      | exception e ->
+        fail "resume pipeline crashed on replayed ticket: %s" (Printexc.to_string e)
+      | Some _ -> fail "ticket replayed under a different attester id"
+      | None -> Ok ())
+    | 5 -> (
+      (* resume-accept mutation: the attester opens only the
+         byte-identical frame (nonce, iv and blob are all bound) *)
+      let nonce_v = random Resume.nonce_len in
+      let iv = random 12 in
+      let blob = "fuzz mesh secret blob" in
+      let accept = Resume.build_accept ~rms ~nonce_a ~nonce_v ~iv blob in
+      let mutant = Mutate.mutate rng accept in
+      match Resume.open_accept ~rms ~nonce_a mutant with
+      | exception e -> fail "open_accept crashed: %s" (Printexc.to_string e)
+      | Some _ when not (String.equal mutant accept) ->
+        fail "forged resume accept opened (%d bytes)" (String.length mutant)
+      | _ -> Ok ())
+    | _ -> (
+      (* sub-claim and ack forgery under the session sub-claim key *)
+      let k_sub = Hier.derive_key ~rms in
+      let name = Printf.sprintf "mod-%d" (Prng.int rng 16) in
+      let measurement = random 32 in
+      let sub = Hier.make ~k_sub ~name ~measurement in
+      let mutant = Mutate.mutate rng sub in
+      match Hier.verify ~k_sub mutant with
+      | exception e -> fail "Hier.verify crashed: %s" (Printexc.to_string e)
+      | Ok _ when not (String.equal mutant sub) ->
+        fail "forged sub-claim verified (%d bytes)" (String.length mutant)
+      | _ ->
+        let ack = Hier.ack ~k_sub sub in
+        let amutant = Mutate.mutate rng ack in
+        if (not (String.equal amutant ack)) && Hier.check_ack ~k_sub ~subclaim:sub amutant
+        then fail "forged sub-claim ack accepted"
+        else Ok ()))
+
 (** One protocol-fuzz round: handler-level most of the time (cheap),
-    transport or boot chain on the side. *)
+    transport, boot chain or mesh resumption on the side. *)
 let round ctx seed rng =
-  match Prng.int rng 8 with
+  match Prng.int rng 10 with
   | 0 -> net_round (Int64.logxor seed (Prng.next64 rng)) rng
   | 1 | 2 -> boot_round (Int64.logxor seed (Prng.next64 rng)) rng
+  | 3 | 4 -> mesh_round (Int64.logxor seed (Prng.next64 rng)) rng
   | _ -> message_round ctx rng

@@ -111,6 +111,7 @@ type cctx = {
   mutable height : int;
   mutable max_height : int;
   mutable frames : cframe list; (* innermost first *)
+  fuel : bool; (* charge Instance.Fuel per loop iteration and function entry *)
 }
 
 let push_t ctx t =
@@ -826,15 +827,39 @@ and compile_loop ctx get_cfunc bt body : code =
   ctx.frames <- List.tl ctx.frames;
   ctx.stack <- List.rev_append (List.rev ts) (drop_to ctx entry_height);
   ctx.height <- entry_height + List.length ts;
+  (* Under fuel, charge at the top of [iterate] in both shapes: once on
+     entry plus once per back edge — the same points as the other
+     tiers, so a given budget exhausts tier-identically. *)
   if explicit_backedge then
+    if ctx.fuel then
+      fun r ->
+        let rec iterate () =
+          Instance.Fuel.consume ();
+          (try body_code r with Br_exn 0 -> ());
+          iterate ()
+        in
+        (try iterate () with
+        | Br_exn 0 -> ()
+        | Br_exn n -> raise (br_exn (n - 1)))
+    else
+      fun r ->
+        let rec iterate () =
+          (try body_code r with Br_exn 0 -> ());
+          iterate ()
+        in
+        (try iterate () with
+        | Br_exn 0 -> ()
+        | Br_exn n -> raise (br_exn (n - 1)))
+  else if ctx.fuel then
     fun r ->
       let rec iterate () =
-        (try body_code r with Br_exn 0 -> ());
-        iterate ()
+        Instance.Fuel.consume ();
+        match body_code r with
+        | () -> ()
+        | exception Br_exn 0 -> iterate ()
+        | exception Br_exn n -> raise (br_exn (n - 1))
       in
-      (try iterate () with
-      | Br_exn 0 -> ()
-      | Br_exn n -> raise (br_exn (n - 1)))
+      iterate ()
   else
     fun r ->
       let rec iterate () =
@@ -1023,7 +1048,7 @@ let type_of_cfuncinst = function CWasm f -> f.cftype | CHost h -> h.chtype
     and element segments applied. The start function, if any, is run by
     {!run_start} (call it explicitly, as the embedder controls timing
     measurements around it). *)
-let instantiate ?(imports : import_binding list = []) (m : module_) : rinstance =
+let instantiate ?(fuel = false) ?(imports : import_binding list = []) (m : module_) : rinstance =
   let import_tbl = Hashtbl.create 16 in
   List.iter (fun (mo, na, ext) -> Hashtbl.replace import_tbl (mo, na) ext) imports;
   let lookup (imp : import) =
@@ -1125,9 +1150,16 @@ let instantiate ?(imports : import_binding list = []) (m : module_) : rinstance 
           height = 0;
           max_height = List.length ft.results;
           frames = [ { entry_height = 0; label_types = ft.results; end_types = ft.results } ];
+          fuel;
         }
       in
       let body_code = compile_seq ctx get_cfunc f.body in
+      let body_code =
+        if fuel then fun r ->
+          Instance.Fuel.consume ();
+          body_code r
+        else body_code
+      in
       (* Mutate the shell in place so every call site captured during
          compilation sees the compiled body and register-file sizes. *)
       shell.body <- body_code;

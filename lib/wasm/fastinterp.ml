@@ -60,6 +60,7 @@ type skind = SI32 | SI64 | SF32 | SF64 | SI32_8 | SI32_16 | SI64_8 | SI64_16 | S
 type op =
   | OHalt
   | OUnreachable
+  | OFuel (* charge one fuel unit; emitted only when compiling with ~fuel *)
   | OJmp of edge
   | OBrIf of int * edge (* jump when slot <> 0 *)
   | OBrIfNot of int * edge (* jump when slot = 0 (if's else edge) *)
@@ -281,6 +282,7 @@ type cctx = {
   mutable cframes : cframe list; (* innermost first *)
   cbuf : buf;
   cmarks : (int, unit) Hashtbl.t; (* branch-target positions: fusion barriers *)
+  cfuel : bool; (* emit OFuel at function entry and loop headers *)
 }
 
 let emit ctx o =
@@ -920,12 +922,17 @@ let rec compile_instr (ctx : cctx) (i : instr) : bool =
     let ts = match bt with BlockEmpty -> [] | BlockVal t -> [ t ] in
     let entry = ctx.cheight in
     mark_here ctx;
+    (* Under fuel, the header op sits at [fr_start]: charged on fall-in
+       and by every back edge, i.e. once per iteration — the same
+       charging points as the tree-walker's [iterate]. *)
+    let start = here ctx in
+    if ctx.cfuel then emit ctx OFuel;
     let fr =
       {
         fr_entry = entry;
         fr_label_types = [];
         fr_is_loop = true;
-        fr_start = here ctx;
+        fr_start = start;
         fr_pending = [];
       }
     in
@@ -989,7 +996,7 @@ and compile_seq ctx (body : instr list) : bool =
   | [] -> true
   | i :: rest -> if compile_instr ctx i then compile_seq ctx rest else false
 
-let compile_func ctypes cfunc_types cglobals_t (f : func) (ft : functype) : cbody =
+let compile_func ~fuel ctypes cfunc_types cglobals_t (f : func) (ft : functype) : cbody =
   let local_types = Array.of_list (ft.params @ f.locals) in
   let fn_frame =
     {
@@ -1014,8 +1021,10 @@ let compile_func ctypes cfunc_types cglobals_t (f : func) (ft : functype) : cbod
       cframes = [ fn_frame ];
       cbuf = { arr = Array.make 32 OHalt; len = 0 };
       cmarks = Hashtbl.create 16;
+      cfuel = fuel;
     }
   in
+  if fuel then emit ctx OFuel (* function entry *);
   ignore (compile_seq ctx f.body);
   (* Returns and branches to the function label land on the trailing
      OHalt with the results already moved to stack slots 0..arity-1
@@ -1034,8 +1043,13 @@ let compile_func ctypes cfunc_types cglobals_t (f : func) (ft : functype) : cbod
   }
 
 (** Flatten a {e validated} module. The result is instance-free and
-    reusable: instantiate it any number of times. *)
-let compile (m : module_) : cmodule =
+    reusable: instantiate it any number of times. With [~fuel], the
+    flattened code
+    charges {!Instance.Fuel} once per function entry and per loop
+    iteration — for running untrusted modules under a budget; never
+    enable it for cmodules that go into a measurement-keyed cache, or
+    metered and unmetered users would share one compiled form. *)
+let compile ?(fuel = false) (m : module_) : cmodule =
   let cm_types = Array.of_list m.types in
   let imp_ftypes = List.map (fun t -> cm_types.(t)) (imported_funcs m) in
   let own_ftypes = List.map (fun (f : func) -> cm_types.(f.ftype)) m.funcs in
@@ -1045,7 +1059,9 @@ let compile (m : module_) : cmodule =
   in
   let cm_bodies =
     Array.of_list
-      (List.map (fun (f : func) -> compile_func cm_types cm_func_types cglobals_t f cm_types.(f.ftype)) m.funcs)
+      (List.map
+         (fun (f : func) -> compile_func ~fuel cm_types cm_func_types cglobals_t f cm_types.(f.ftype))
+         m.funcs)
   in
   { cm_module = m; cm_types; cm_func_types; cm_bodies; cm_n_imported = List.length imp_ftypes }
 
@@ -1305,6 +1321,9 @@ let rec dispatch (fr : frame) (xi : int array) (xl : int64 array) (xf : float ar
   match Array.unsafe_get code pc with
     | OHalt -> ()
     | OUnreachable -> raise (Trap "unreachable executed")
+    | OFuel ->
+      Fuel.consume ();
+      dispatch fr xi xl xf inst code data (pc + 1)
     | OJmp e ->
       if Array.length e.moves <> 0 then apply_moves fr e.moves;
       dispatch fr xi xl xf inst code data e.target

@@ -14,6 +14,38 @@ exception Link_error of string
 
 let link_fail fmt = Format.kasprintf (fun s -> raise (Link_error s)) fmt
 
+(** Optional execution fuel, for running untrusted modules whose
+    termination nothing guarantees (fuzz mutants in the differential
+    harness). Metering is off unless the caller is inside
+    {!Fuel.with_fuel}; the tiers charge one unit per loop iteration and
+    per function entry — coarse, but every unbounded execution must
+    cross one of those two edges, so exhaustion is inevitable and,
+    because all tiers charge the same edges, tier-identical.
+
+    The budget is a single global cell, not per-instance state: fuel is
+    a harness concern and threading it through three execution tiers'
+    hot paths would tax the default (unmetered) configuration. The cell
+    is domain-local in effect — the fuzz harness is single-domain — and
+    [max_int] is the sentinel for "off". *)
+module Fuel = struct
+  let cell = ref max_int
+
+  let enabled () = !cell <> max_int
+
+  let consume () =
+    if !cell <> max_int then begin
+      if !cell <= 0 then raise (Exhaustion "fuel exhausted");
+      decr cell
+    end
+
+  (** Run [f] with a budget of [n] units, restoring the previous budget
+      (normally: off) afterwards, whatever [f] does. *)
+  let with_fuel n f =
+    let saved = !cell in
+    cell := n;
+    Fun.protect ~finally:(fun () -> cell := saved) f
+end
+
 (* ------------------------------------------------------------------ *)
 (* Linear memory *)
 

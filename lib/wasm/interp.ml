@@ -228,6 +228,7 @@ and eval_instr frame stack (instr : instr) =
   | Block (bt, body) -> eval_block frame stack ~label_arity:(arity_of_blocktype bt) body
   | Loop (_, body) ->
     let rec iterate stack =
+      Fuel.consume ();
       match eval_seq frame stack body with
       | result -> result
       | exception Branch (0, _) -> iterate stack
@@ -401,6 +402,7 @@ and call_funcinst fi stack =
     let results = f args in
     List.rev_append results rest
   | Wasm_func { ftype; func; inst } ->
+    Fuel.consume ();
     let n_params = List.length ftype.params in
     let args = List.rev (take n_params stack) in
     let rest = drop n_params stack in

@@ -231,6 +231,90 @@ let test_fastinterp_fusion_replays () =
       | Error d -> Alcotest.failf "seed %Ld reproduces: %s" seed d)
     fusion_regression_seeds
 
+(* ------------------------------------------------------------------ *)
+(* Fuel-limited execution: the decode target's exec stage runs mutants
+   under a fuel budget, so the three tiers must charge identically — a
+   fuel trap that fires at different points would masquerade as a
+   divergence. *)
+
+let spin_module () =
+  let open Watz_wasm in
+  let b = Builder.create () in
+  let f =
+    Builder.func b ~params:[] ~results:[] ~locals:[]
+      [ Ast.Loop (Ast.BlockEmpty, [ Ast.Br 0 ]) ]
+  in
+  Builder.export_func b "spin" f;
+  Builder.build b
+
+(* Counts to [iters] in a local: 1 function-entry charge plus one
+   charge per loop iteration, on every tier. *)
+let bounded_module iters =
+  let open Watz_wasm in
+  let body =
+    [ Ast.Loop
+        ( Ast.BlockEmpty,
+          [ Ast.LocalGet 0; Ast.Const (Ast.VI32 1l); Ast.IBinop (Types.I32, Ast.Add);
+            Ast.LocalTee 0; Ast.Const (Ast.VI32 (Int32.of_int iters));
+            Ast.IRelop (Types.I32, Ast.LtS); Ast.BrIf 0 ] ) ]
+  in
+  let b = Builder.create () in
+  let f = Builder.func b ~params:[] ~results:[] ~locals:[ Types.I32 ] body in
+  Builder.export_func b "run" f;
+  Builder.build b
+
+let interp_invoke m name =
+  let open Watz_wasm in
+  let inst = Instance.instantiate m in
+  match Instance.export_func inst name with
+  | Some f -> ignore (Interp.invoke f [])
+  | None -> Alcotest.failf "no export %s" name
+
+let fast_invoke m name =
+  let open Watz_wasm in
+  ignore (Fastinterp.invoke (Fastinterp.instantiate (Fastinterp.compile ~fuel:true m)) name [])
+
+let aot_invoke m name =
+  let open Watz_wasm in
+  ignore (Aot.invoke (Aot.instantiate ~fuel:true m) name [])
+
+let test_fuel_trap_tier_identical () =
+  let open Watz_wasm in
+  let m = spin_module () in
+  Validate.validate m;
+  let exhausts tier f =
+    Instance.Fuel.with_fuel 10_000 (fun () ->
+        match f m "spin" with
+        | () -> Alcotest.failf "%s: infinite loop returned under fuel" tier
+        | exception Instance.Exhaustion _ -> ())
+  in
+  exhausts "interp" interp_invoke;
+  exhausts "fastinterp" fast_invoke;
+  exhausts "aot" aot_invoke;
+  (* the differential harness calls exhaustion-everywhere agreement *)
+  match Diff.run_bytes ~exec:true (Encode.encode m) with
+  | Diff.Accepted -> ()
+  | Diff.Rejected -> Alcotest.fail "spin module rejected"
+  | Diff.Decoder_crash d | Diff.Exec_diverged d -> Alcotest.failf "spin module: %s" d
+
+let test_fuel_charge_parity () =
+  let open Watz_wasm in
+  let m = bounded_module 100 in
+  Validate.validate m;
+  let budget = 10_000 in
+  let remaining f =
+    Instance.Fuel.with_fuel budget (fun () ->
+        f m "run";
+        !Instance.Fuel.cell)
+  in
+  let r_interp = remaining interp_invoke in
+  Alcotest.(check int) "interp = fastinterp fuel charge" r_interp (remaining fast_invoke);
+  Alcotest.(check int) "interp = aot fuel charge" r_interp (remaining aot_invoke);
+  Alcotest.(check bool) "fuel was charged" true (r_interp < budget);
+  (* without a budget, fuel is free: same module, no charging *)
+  interp_invoke m "run";
+  Alcotest.(check bool) "fuel off outside with_fuel" false (Instance.Fuel.enabled ())
+
 (* The checked-in corpus (test/corpus/) replays clean. Runs against the
    dune-declared copy when present; an empty/missing dir is vacuous. *)
 let test_checked_in_corpus_replays () =
@@ -271,6 +355,11 @@ let suite =
       [
         case "bytes ddmin" test_shrink_bytes_minimizes;
         case "mutator deterministic" test_mutate_deterministic;
+      ] );
+    ( "fuzz.fuel",
+      [
+        case "fuel trap is tier-identical" test_fuel_trap_tier_identical;
+        case "fuel charge parity across tiers" test_fuel_charge_parity;
       ] );
     ("fuzz.regressions", [ case "fastinterp fusion seeds" test_fastinterp_fusion_replays ]);
   ]

@@ -4,4 +4,4 @@ let () =
     (Test_crypto.suite @ Test_wasm.suite @ Test_minic.suite @ Test_tz.suite @ Test_attest.suite
    @ Test_runtime.suite @ Test_workloads.suite @ Test_symbolic.suite @ Test_wasi.suite
    @ Test_fault.suite @ Test_attack.suite @ Test_obs.suite @ Test_fleet.suite
-   @ Test_fuzz.suite)
+   @ Test_fuzz.suite @ Test_mesh.suite)
